@@ -1,0 +1,64 @@
+"""Ablation benches over the design choices DESIGN.md calls out."""
+
+from conftest import save_and_print
+
+from repro.experiments import ablations
+from repro.experiments.common import format_table
+
+
+def _render(rows):
+    return format_table(
+        ["study", "variant", "Gbps", "latency ms", "planning s"],
+        [[r.study, r.variant, r.throughput_gbps, r.latency_ms,
+          r.planning_seconds] for r in rows],
+    )
+
+
+def test_ablation_reorganization(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.ablate_reorganization(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "ablation_reorganization", _render(rows))
+    by_variant = {r.variant: r for r in rows}
+    # Synthesis must contribute: disabling it should not help.
+    assert by_variant["full"].throughput_gbps >= \
+        0.9 * by_variant["neither"].throughput_gbps
+
+
+def test_ablation_partition_algorithm(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.ablate_partition_algorithm(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "ablation_partition", _render(rows))
+    by_variant = {r.variant: r for r in rows}
+    # The lightweight scheme trades some quality for speed; it should
+    # stay within 2x of KL's throughput.
+    assert by_variant["agglomerative"].throughput_gbps >= \
+        0.5 * by_variant["kl"].throughput_gbps
+
+
+def test_ablation_persistent_kernel(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.ablate_persistent_kernel(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "ablation_persistent_kernel",
+                   _render(rows))
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["persistent"].throughput_gbps > \
+        by_variant["per-batch-launch"].throughput_gbps
+
+
+def test_ablation_expansion_delta(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.ablate_expansion_delta(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "ablation_expansion_delta",
+                   _render(rows))
+    by_variant = {r.variant: r for r in rows}
+    # Finer granularity never hurts solution quality materially.
+    assert by_variant["delta=0.1"].throughput_gbps >= \
+        0.8 * by_variant["delta=0.5"].throughput_gbps

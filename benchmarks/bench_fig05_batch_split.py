@@ -1,0 +1,14 @@
+"""Regenerates Fig. 5 — batch-split throughput collapse."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig05_batch_split
+
+
+def test_fig05_batch_split(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig05_batch_split.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig05_batch_split", text)
+    assert "with_split" in text

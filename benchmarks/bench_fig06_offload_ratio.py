@@ -1,0 +1,14 @@
+"""Regenerates Fig. 6 — throughput vs offload fraction."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig06_offload_ratio
+
+
+def test_fig06_offload_ratio(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig06_offload_ratio.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig06_offload_ratio", text)
+    assert "best ratio per NF" in text

@@ -1,0 +1,14 @@
+"""Regenerates Fig. 7 — acceleration offset with SFC length."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig07_sfc_length
+
+
+def test_fig07_sfc_length(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig07_sfc_length.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig07_sfc_length", text)
+    assert "acceleration" in text

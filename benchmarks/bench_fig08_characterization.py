@@ -1,0 +1,15 @@
+"""Regenerates Fig. 8 — NF characterization (batch sizes, traffic
+patterns, co-run interference)."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig08_characterization
+
+
+def test_fig08_characterization(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig08_characterization.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig08_characterization", text)
+    assert "Fig. 8(e)" in text

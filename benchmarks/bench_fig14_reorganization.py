@@ -1,0 +1,14 @@
+"""Regenerates Figs. 13/14 — SFC re-organization effectiveness."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig14_reorganization
+
+
+def test_fig14_reorganization(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig14_reorganization.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig14_reorganization", text)
+    assert "latency reduction" in text

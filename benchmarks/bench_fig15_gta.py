@@ -1,0 +1,14 @@
+"""Regenerates Fig. 15 — graph-based task allocation vs baselines."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig15_gta
+
+
+def test_fig15_gta(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig15_gta.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig15_gta", text)
+    assert "GTA / optimal" in text

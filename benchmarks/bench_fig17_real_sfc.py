@@ -1,0 +1,14 @@
+"""Regenerates Figs. 16/17 — the real FW/router/NAT service chain."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig17_real_sfc
+
+
+def test_fig17_real_sfc(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: fig17_real_sfc.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "fig17_real_sfc", text)
+    assert "nfcompass" in text

@@ -1,0 +1,23 @@
+"""Extension bench: latency vs offered load hockey-stick curves."""
+
+from conftest import save_and_print
+
+from repro.experiments import load_latency
+
+
+def test_load_latency_curves(benchmark, results_dir):
+    text = benchmark.pedantic(
+        lambda: load_latency.main(quick=True),
+        rounds=1, iterations=1,
+    )
+    save_and_print(results_dir, "load_latency", text)
+    assert "knee sharpness" in text
+
+
+def test_knee_exists_past_capacity(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: load_latency.run(quick=True),
+        rounds=1, iterations=1,
+    )
+    for system in ("nfcompass", "fastclick"):
+        assert load_latency.knee_sharpness(rows, system) > 1.2

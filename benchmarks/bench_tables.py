@@ -1,0 +1,12 @@
+"""Regenerates Tables II/III from the live catalog and calculus."""
+
+from conftest import save_and_print
+
+from repro.experiments import tables
+
+
+def test_tables_ii_and_iii(benchmark, results_dir):
+    text = benchmark.pedantic(lambda: tables.main(), rounds=1,
+                              iterations=1)
+    save_and_print(results_dir, "tables_ii_iii", text)
+    assert "Table II" in text

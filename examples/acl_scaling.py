@@ -1,0 +1,37 @@
+"""Enterprise gateway under growing ACLs (the Fig. 16/17 scenario).
+
+Deploys the paper's validation chain — firewall -> IP router -> NAT —
+under ClassBench-style ACLs of increasing size, on three systems:
+FastClick (CPU batching), NBA (adaptive GPU offload), and NFCompass.
+Shows why classification-tree systems collapse at 10 000 rules while
+NFCompass's synthesized tuple-space classification stays flat.
+
+Run:  python examples/acl_scaling.py
+"""
+
+from repro.experiments import fig17_real_sfc
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    rows = fig17_real_sfc.run(quick=True,
+                              acl_sizes=(200, 1000, 10000),
+                              packet_sizes=(64,))
+    print(format_table(
+        ["system", "ACL rules", "Gbps", "latency ms", "latency std us"],
+        [[r.system, r.acl_rules, r.throughput_gbps, r.latency_ms,
+          r.latency_std_us] for r in rows],
+        title="FW -> router -> NAT, 64B packets, fixed offered load",
+    ))
+    retention = fig17_real_sfc.throughput_retention(rows)
+    print("\nThroughput retained relative to the 200-rule ACL:")
+    for system, series in retention.items():
+        kept = ", ".join(f"ACL {acl}: {fraction:.0%}"
+                         for acl, fraction in sorted(series.items()))
+        print(f"  {system:10s} {kept}")
+    print("\nPaper shape: FastClick loses 38%/84% at 1k/10k rules and "
+          "its latency explodes; NBA degrades less; NFCompass is flat.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Multi-tenant consolidation on one heterogeneous server.
+
+Four tenants — an IDS, an IPsec VPN gateway, an IPv4 router, and a
+firewall — share the Table I platform.  Each gets a dedicated slice of
+CPU cores (the paper's container-per-NF deployment) and a share of the
+GPUs; NFCompass plans each chain independently and the co-existence
+interference model (Fig. 8e) couples them at simulation time.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.core.multi import MultiTenantScheduler
+from repro.hw.platform import PlatformSpec
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.traffic.distributions import IMIXSize
+from repro.traffic.generator import TrafficSpec
+
+
+def main() -> None:
+    spec = lambda seed: TrafficSpec(size_law=IMIXSize(),  # noqa: E731
+                                    offered_gbps=200.0, seed=seed)
+    workloads = [
+        ("ids-tenant", ServiceFunctionChain([make_nf("ids")]), spec(1)),
+        ("vpn-tenant", ServiceFunctionChain([make_nf("ipsec")]), spec(2)),
+        ("router-tenant", ServiceFunctionChain([make_nf("ipv4")]),
+         spec(3)),
+        ("fw-tenant", ServiceFunctionChain([make_nf("firewall")]),
+         spec(4)),
+    ]
+
+    scheduler = MultiTenantScheduler(platform=PlatformSpec.paper_testbed())
+    tenants = scheduler.deploy(workloads, batch_size=64)
+    print("Tenant placements:")
+    for tenant in tenants:
+        offloaded = {n.split("/")[-1]: r
+                     for n, r in
+                     tenant.plan.allocation_report.offload_ratios.items()
+                     if r > 0}
+        print(f"  {tenant.name:14s} cores {tenant.cores[0]}.."
+              f"{tenant.cores[-1]}, offloaded: {offloaded or 'nothing'}")
+
+    summary = scheduler.consolidation_report(batch_size=64,
+                                             batch_count=80)
+    print(f"\n{'tenant':14s}  {'solo Gbps':>9}  {'co-run Gbps':>11}  "
+          f"{'drop':>6}")
+    for name, stats in summary.items():
+        print(f"{name:14s}  {stats['solo_gbps']:>9.2f}  "
+              f"{stats['corun_gbps']:>11.2f}  "
+              f"{stats['drop_fraction']:>6.1%}")
+    print("\n(The paper's Fig. 8e: cache-hungry tenants lose the most "
+          "to consolidation; the firewall barely notices.)")
+
+
+if __name__ == "__main__":
+    main()

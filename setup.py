@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The hermetic build environment ships setuptools without the ``wheel``
+package, so PEP 517 editable installs (which need ``bdist_wheel``)
+fail; this shim keeps ``pip install -e .`` working via the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup(
+    # Spelled out for the legacy path; mirrors [project.scripts].
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

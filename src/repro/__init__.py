@@ -1,0 +1,44 @@
+"""NFCompass reproduction.
+
+A simulation-based, laptop-scale reproduction of *Enabling Efficient
+Network Service Function Chain Deployment on Heterogeneous Server
+Platform* (HPCA 2018).  The package provides:
+
+- :mod:`repro.net` — packet, batch, and flow substrate;
+- :mod:`repro.traffic` — seeded workload generators (IMIX, ACLs, DPI
+  payload profiles);
+- :mod:`repro.elements` — a Click-like packet-processing element
+  framework with offloadable elements;
+- :mod:`repro.nf` — functional network functions (forwarders, IPsec,
+  DPI, firewall, NAT, ...);
+- :mod:`repro.hw` — an analytical CPU/GPU/PCIe performance model;
+- :mod:`repro.sim` — a batch-level discrete-event execution engine;
+- :mod:`repro.core` — NFCompass itself: SFC parallelization, NF
+  synthesis, and graph-partition-based task allocation;
+- :mod:`repro.baselines` — FastClick/NBA/CPU-only/GPU-only baselines;
+- :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from repro.core.compass import NFCompass
+from repro.core.orchestrator import SFCOrchestrator
+from repro.core.synthesizer import NFSynthesizer
+from repro.core.allocator import GraphTaskAllocator
+from repro.nf.catalog import NF_CATALOG, make_nf
+from repro.hw.platform import PlatformSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import ThroughputLatencyReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NFCompass",
+    "SFCOrchestrator",
+    "NFSynthesizer",
+    "GraphTaskAllocator",
+    "NF_CATALOG",
+    "make_nf",
+    "PlatformSpec",
+    "SimulationEngine",
+    "ThroughputLatencyReport",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Baseline systems the paper compares against.
+
+All baselines run on the *same* substrate (elements, NFs, platform
+model, engine) as NFCompass; what differs is their scheduling policy:
+
+- :class:`~repro.baselines.policies.CPUOnlyBaseline` — no offloading;
+- :class:`~repro.baselines.policies.GPUOnlyBaseline` — offload
+  everything, per-batch kernel launches;
+- :class:`~repro.baselines.policies.FixedRatioBaseline` — one global
+  offload ratio for every offloadable element;
+- :class:`~repro.baselines.policies.ExhaustiveOptimalBaseline` — the
+  paper's "optimal" reference: exhaustive sweep + coordinate-descent
+  refinement of offload ratios using simulation feedback;
+- :class:`~repro.baselines.fastclick.FastClickBaseline` — the CPU
+  batching framework (no re-organization, linear classification);
+- :class:`~repro.baselines.nba.NBABaseline` — per-element adaptive
+  offloading without global dataflow awareness.
+"""
+
+from repro.baselines.policies import (
+    BaselineSystem,
+    CPUOnlyBaseline,
+    GPUOnlyBaseline,
+    FixedRatioBaseline,
+    ExhaustiveOptimalBaseline,
+)
+from repro.baselines.fastclick import FastClickBaseline
+from repro.baselines.nba import NBABaseline
+
+__all__ = [
+    "BaselineSystem",
+    "CPUOnlyBaseline",
+    "GPUOnlyBaseline",
+    "FixedRatioBaseline",
+    "ExhaustiveOptimalBaseline",
+    "FastClickBaseline",
+    "NBABaseline",
+]

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+Entry points::
+
+    repro nf list                      # the NF catalog (Table II)
+    repro elements                     # config-language element classes
+    repro experiments list             # available paper harnesses
+    repro experiments run fig06        # regenerate one figure
+    repro deploy -c firewall,ids,lb    # NFCompass a chain and simulate
+    repro config run my.click          # parse + simulate a Click config
+
+Also usable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "tables": "repro.experiments.tables",
+    "fig05": "repro.experiments.fig05_batch_split",
+    "fig06": "repro.experiments.fig06_offload_ratio",
+    "fig07": "repro.experiments.fig07_sfc_length",
+    "fig08": "repro.experiments.fig08_characterization",
+    "fig14": "repro.experiments.fig14_reorganization",
+    "fig15": "repro.experiments.fig15_gta",
+    "fig17": "repro.experiments.fig17_real_sfc",
+    "ablations": "repro.experiments.ablations",
+    "load-latency": "repro.experiments.load_latency",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NFCompass reproduction (HPCA 2018) command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    nf_parser = subparsers.add_parser("nf", help="network function catalog")
+    nf_sub = nf_parser.add_subparsers(dest="nf_command", required=True)
+    nf_sub.add_parser("list", help="list catalog NFs with Table II flags")
+
+    subparsers.add_parser(
+        "elements", help="list element classes usable in config files"
+    )
+
+    exp_parser = subparsers.add_parser("experiments",
+                                       help="paper-figure harnesses")
+    exp_sub = exp_parser.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="list available harnesses")
+    exp_run = exp_sub.add_parser("run", help="run one harness")
+    exp_run.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_run.add_argument("--full", action="store_true",
+                         help="full scale (default: quick)")
+
+    deploy = subparsers.add_parser(
+        "deploy", help="deploy a chain with NFCompass and simulate it"
+    )
+    deploy.add_argument("-c", "--chain", required=True,
+                        help="comma-separated NF types, e.g. "
+                             "firewall,ids,lb")
+    deploy.add_argument("--packet-size", type=int, default=0,
+                        help="fixed frame size in bytes (default IMIX)")
+    deploy.add_argument("--load", type=float, default=40.0,
+                        help="offered load in Gbps")
+    deploy.add_argument("--batch", type=int, default=64)
+    deploy.add_argument("--batches", type=int, default=120,
+                        help="batch count to simulate")
+    deploy.add_argument("--algorithm", choices=("kl", "agglomerative"),
+                        default="kl")
+    deploy.add_argument("--seed", type=int, default=1)
+
+    config = subparsers.add_parser(
+        "config", help="work with Click-style configuration files"
+    )
+    config_sub = config.add_subparsers(dest="config_command",
+                                       required=True)
+    config_run = config_sub.add_parser("run",
+                                       help="parse and simulate a config")
+    config_run.add_argument("path")
+    config_run.add_argument("--packet-size", type=int, default=256)
+    config_run.add_argument("--load", type=float, default=40.0)
+    config_run.add_argument("--batch", type=int, default=64)
+    config_run.add_argument("--batches", type=int, default=100)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_nf_list() -> int:
+    from repro.experiments.common import format_table
+    from repro.nf.catalog import NF_CATALOG
+
+    def yn(flag: bool) -> str:
+        return "Y" if flag else "N"
+
+    rows = []
+    for nf_type in sorted(NF_CATALOG):
+        entry = NF_CATALOG[nf_type]
+        actions = entry.actions
+        rows.append([
+            nf_type,
+            f"{yn(actions.reads_header)}/{yn(actions.reads_payload)}",
+            f"{yn(actions.writes_header)}/{yn(actions.writes_payload)}",
+            yn(actions.adds_removes_bits),
+            yn(actions.drops),
+            entry.description,
+        ])
+    print(format_table(
+        ["NF", "rd H/P", "wr H/P", "bits", "drop", "description"],
+        rows, title="NF catalog (Table II action profiles)",
+    ))
+    return 0
+
+
+def _cmd_elements() -> int:
+    from repro.elements.config import registered_elements
+    for name in registered_elements():
+        print(name)
+    return 0
+
+
+def _cmd_experiments_list() -> int:
+    for name, module_name in sorted(EXPERIMENTS.items()):
+        module = importlib.import_module(module_name)
+        doc = (module.__doc__ or "").strip().splitlines()
+        print(f"{name:10s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_experiments_run(name: str, full: bool) -> int:
+    module = importlib.import_module(EXPERIMENTS[name])
+    try:
+        print(module.main(quick=not full))
+    except TypeError:
+        print(module.main())
+    return 0
+
+
+def _make_spec(packet_size: int, load: float, seed: int):
+    from repro.traffic.distributions import FixedSize, IMIXSize
+    from repro.traffic.generator import TrafficSpec
+    size_law = FixedSize(packet_size) if packet_size else IMIXSize()
+    return TrafficSpec(size_law=size_law, offered_gbps=load, seed=seed)
+
+
+def _cmd_deploy(args) -> int:
+    from repro.core.compass import NFCompass
+    from repro.hw.platform import PlatformSpec
+    from repro.nf.base import ServiceFunctionChain
+    from repro.nf.catalog import NF_CATALOG, make_nf
+
+    nf_types = [t.strip() for t in args.chain.split(",") if t.strip()]
+    unknown = [t for t in nf_types if t not in NF_CATALOG]
+    if unknown:
+        print(f"unknown NF types {unknown}; known: "
+              f"{sorted(NF_CATALOG)}", file=sys.stderr)
+        return 2
+    spec = _make_spec(args.packet_size, args.load, args.seed)
+    sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
+    compass = NFCompass(platform=PlatformSpec.paper_testbed(),
+                        algorithm=args.algorithm)
+    plan = compass.deploy(sfc, spec, batch_size=args.batch)
+    print(plan.describe())
+    report = compass.engine.run(plan.deployment, spec,
+                                batch_size=args.batch,
+                                batch_count=args.batches)
+    print(report.summary())
+    return 0
+
+
+def _cmd_config_run(args) -> int:
+    from repro.elements.config import parse_config
+    from repro.sim.engine import BranchProfile, SimulationEngine
+    from repro.sim.mapping import Deployment, Mapping
+
+    with open(args.path) as handle:
+        graph = parse_config(handle.read(), name=args.path)
+    print(graph.describe())
+    spec = _make_spec(args.packet_size, args.load, seed=1)
+    engine = SimulationEngine()
+    mapping = Mapping.all_cpu(
+        graph, cores=engine.platform.cpu_processor_ids(6)
+    )
+    deployment = Deployment(graph, mapping, name=args.path)
+    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+                                    batch_size=args.batch)
+    report = engine.run(deployment, spec, batch_size=args.batch,
+                        batch_count=args.batches,
+                        branch_profile=profile)
+    print(report.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the selected command."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "nf":
+        return _cmd_nf_list()
+    if args.command == "elements":
+        return _cmd_elements()
+    if args.command == "experiments":
+        if args.exp_command == "list":
+            return _cmd_experiments_list()
+        return _cmd_experiments_run(args.name, args.full)
+    if args.command == "deploy":
+        return _cmd_deploy(args)
+    if args.command == "config":
+        return _cmd_config_run(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

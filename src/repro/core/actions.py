@@ -1,0 +1,88 @@
+"""The Table II/III dependency calculus.
+
+Two consecutive NFs can run in parallel when duplicating the input to
+both and XOR-merging their outputs produces the same packets as the
+sequential execution.  The paper reasons about this with pipeline
+hazards over per-region (header vs payload) read/write sets:
+
+- RAR (both read): parallelizable;
+- WAR (former reads, later writes): parallelizable — duplication gives
+  the former the original packet regardless of the later's writes;
+- RAW (former writes, later reads): NOT parallelizable — the later NF
+  must see the former's output;
+- WAW (both write): NOT parallelizable *on the same region* (the XOR
+  merge would interleave both writes); parallelizable when the writes
+  touch disjoint regions (header vs payload), the starred cases of
+  Table III;
+- size-changing NFs (add/remove bits) conflict with any other writer
+  or payload reader: byte offsets shift, so region reasoning breaks;
+- drops are always safe: a packet dropped by either branch is dropped
+  after the merge, which matches either sequential order the paper's
+  criteria accept.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Set
+
+from repro.elements.element import ActionProfile
+
+
+class Hazard(enum.Enum):
+    """Why two NFs cannot be parallelized."""
+
+    RAW_HEADER = "raw_header"
+    RAW_PAYLOAD = "raw_payload"
+    WAW_HEADER = "waw_header"
+    WAW_PAYLOAD = "waw_payload"
+    SIZE_CHANGE = "size_change"
+
+
+def hazards_between(former: ActionProfile,
+                    later: ActionProfile) -> FrozenSet[Hazard]:
+    """Hazards preventing parallel execution of ``former`` and ``later``.
+
+    ``former`` appears before ``later`` in the SFC order.  An empty
+    result means the pair is parallelizable.
+    """
+    hazards: Set[Hazard] = set()
+
+    former_writes_header = former.writes_header or former.adds_removes_bits
+    former_writes_payload = former.writes_payload or former.adds_removes_bits
+    later_writes_header = later.writes_header or later.adds_removes_bits
+    later_writes_payload = later.writes_payload or later.adds_removes_bits
+
+    # RAW: the later NF reads a region the former writes.
+    if former_writes_header and later.reads_header:
+        hazards.add(Hazard.RAW_HEADER)
+    if former_writes_payload and later.reads_payload:
+        hazards.add(Hazard.RAW_PAYLOAD)
+
+    # WAW on the same region: the XOR merge cannot order the writes.
+    if former_writes_header and later_writes_header:
+        hazards.add(Hazard.WAW_HEADER)
+    if former_writes_payload and later_writes_payload:
+        hazards.add(Hazard.WAW_PAYLOAD)
+
+    # Size changes shift byte offsets; any other access conflicts.
+    if former.adds_removes_bits or later.adds_removes_bits:
+        other = later if former.adds_removes_bits else former
+        if other.reads or other.writes:
+            hazards.add(Hazard.SIZE_CHANGE)
+
+    return frozenset(hazards)
+
+
+def parallelizable(former: ActionProfile, later: ActionProfile) -> bool:
+    """Table III verdict for an ordered NF pair."""
+    return not hazards_between(former, later)
+
+
+def explain(former: ActionProfile, later: ActionProfile) -> str:
+    """Human-readable parallelizability explanation (for tooling)."""
+    hazards = hazards_between(former, later)
+    if not hazards:
+        return "parallelizable (no RAW/WAW hazards, no size change)"
+    reasons = ", ".join(sorted(h.value for h in hazards))
+    return f"not parallelizable: {reasons}"

@@ -1,0 +1,231 @@
+"""Graph-partition-based task allocation (GTA, Section IV.C).
+
+The allocator glues the pipeline together:
+
+1. **runtime profiling** measures the traffic distribution over the
+   graph (:class:`~repro.sim.engine.BranchProfile`) and derives the
+   per-node traffic shares;
+2. **expansion** turns offloadable elements into delta-share virtual
+   instances (:mod:`repro.core.expansion`);
+3. **weighting** attaches node weights (CPU/GPU service time per batch,
+   scaled by traffic share) and edge weights (PCIe transfer cost of a
+   cut) from the cost model;
+4. **partitioning** runs modified Kernighan-Lin (default) or the
+   lightweight agglomerative scheme;
+5. **lowering** collapses instance assignments into per-element offload
+   ratios and packs CPU-side elements onto cores (LPT bin packing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.expansion import ExpandedGraph, expand_graph
+from repro.core.partition import (
+    PartitionResult,
+    agglomerative_partition,
+    kernighan_lin_partition,
+)
+from repro.core.profiler import node_traffic_shares
+from repro.elements.graph import ElementGraph
+from repro.elements.offload import OffloadableElement
+from repro.hw.costs import BatchStats, CostModel
+from repro.hw.platform import PlatformSpec
+from repro.sim.engine import BranchProfile
+from repro.sim.mapping import Mapping, Placement
+from repro.traffic.generator import TrafficSpec
+
+
+@dataclass
+class AllocationReport:
+    """Diagnostics of one allocation."""
+
+    partition: PartitionResult
+    offload_ratios: Dict[str, float]
+    core_assignment: Dict[str, str]
+    cpu_core_loads: Dict[str, float]
+    node_shares: Dict[str, float]
+
+    def summary(self) -> str:
+        offloaded = {n: r for n, r in self.offload_ratios.items() if r > 0}
+        return (
+            f"GTA[{self.partition.algorithm}]: objective "
+            f"{self.partition.objective * 1e6:.1f} us/batch, cut "
+            f"{self.partition.cut_weight * 1e6:.1f} us, "
+            f"{len(offloaded)}/{len(self.offload_ratios)} elements "
+            f"offloaded (ratios {offloaded})"
+        )
+
+
+class GraphTaskAllocator:
+    """NFCompass's task allocator."""
+
+    def __init__(self, platform: Optional[PlatformSpec] = None,
+                 cost_model: Optional[CostModel] = None,
+                 algorithm: str = "kl",
+                 delta: float = 0.1,
+                 cpu_cores: Optional[List[str]] = None,
+                 gpus: Optional[List[str]] = None,
+                 persistent_kernel: bool = True):
+        if algorithm not in ("kl", "agglomerative"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.platform = platform or PlatformSpec()
+        self.cost = cost_model or CostModel(self.platform)
+        self.algorithm = algorithm
+        self.delta = delta
+        self.cpu_cores = cpu_cores or self.platform.cpu_processor_ids(
+            min(6, self.platform.total_cores)
+        )
+        self.gpus = gpus or self.platform.gpu_processor_ids()
+        self.persistent_kernel = persistent_kernel
+
+    # ------------------------------------------------------------------
+    def allocate(self, graph: ElementGraph, spec: TrafficSpec,
+                 batch_size: int = 64,
+                 branch_profile: Optional[BranchProfile] = None
+                 ) -> Tuple[Mapping, AllocationReport]:
+        """Map ``graph`` onto the platform for traffic ``spec``."""
+        profile = branch_profile or BranchProfile.measure(
+            graph, spec, sample_packets=max(256, batch_size * 4),
+            batch_size=batch_size,
+        )
+        shares = node_traffic_shares(graph, profile)
+        expanded = expand_graph(graph, delta=self.delta)
+        self._attach_weights(expanded, spec, batch_size, shares)
+
+        if self.algorithm == "kl":
+            partition = kernighan_lin_partition(
+                expanded.pgraph, cpu_cores=len(self.cpu_cores),
+                gpu_units=len(self.gpus),
+            )
+        else:
+            partition = agglomerative_partition(
+                expanded.pgraph, cpu_cores=len(self.cpu_cores),
+                gpu_units=len(self.gpus),
+            )
+
+        ratios = self._collapse_ratios(graph, expanded, partition)
+        mapping, core_assignment, core_loads = self._lower(
+            graph, spec, batch_size, shares, ratios
+        )
+        report = AllocationReport(
+            partition=partition,
+            offload_ratios=ratios,
+            core_assignment=core_assignment,
+            cpu_core_loads=core_loads,
+            node_shares=shares,
+        )
+        return mapping, report
+
+    # ------------------------------------------------------------------
+    def _attach_weights(self, expanded: ExpandedGraph, spec: TrafficSpec,
+                        batch_size: int, shares: Dict[str, float]) -> None:
+        mean_bytes = spec.size_law.mean()
+        pgraph = expanded.pgraph
+        # Weight each virtual instance with its *share* of the whole
+        # element's full-batch service time.  Evaluating the cost model
+        # on tiny per-slice batches would charge every slice the full
+        # per-batch fixed costs (GPU under-occupancy, batch management)
+        # even though the slices of one element execute as one batch.
+        full_batch_times: Dict[str, Tuple[float, Optional[float]]] = {}
+        for node_id in expanded.original.nodes:
+            element = expanded.original.element(node_id)
+            stats = BatchStats(
+                batch_size=batch_size,
+                mean_packet_bytes=mean_bytes,
+                match_profile=spec.match_profile,
+            )
+            cpu_time = self.cost.cpu_batch_seconds(element, stats)
+            gpu_time: Optional[float] = None
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable):
+                timing = self.cost.gpu_batch_timing(
+                    element, stats,
+                    persistent_kernel=self.persistent_kernel,
+                )
+                gpu_time = timing.launch + timing.kernel
+            full_batch_times[node_id] = (cpu_time, gpu_time)
+        for instance_id, instance in expanded.instances.items():
+            node_id = instance.original_node
+            node_share = shares.get(node_id, 1.0)
+            cpu_full, gpu_full = full_batch_times[node_id]
+            attrs = pgraph.nodes[instance_id]
+            attrs["cpu_time"] = cpu_full * instance.share * node_share
+            attrs["pinned"] = instance.pinned
+            attrs["group"] = node_id
+            if gpu_full is not None:
+                attrs["gpu_time"] = gpu_full * instance.share * node_share
+            else:
+                attrs["gpu_time"] = float("inf")
+        # A cut edge's cost is its share of the element's batch
+        # transfer.  The slices of one element move in ONE DMA, so the
+        # per-transfer latency is amortized across the bundle: weight =
+        # share x transfer_time(full batch), not transfer_time(share x
+        # batch) — the latter would charge the DMA setup once per
+        # slice and make any partial offload look prohibitively
+        # expensive.
+        full_transfer = self.platform.pcie.transfer_seconds(
+            batch_size * mean_bytes, packet_count=batch_size
+        )
+        for u, v, data in pgraph.edges(data=True):
+            data["weight"] = data.get("share", 0.0) * full_transfer
+
+    @staticmethod
+    def _collapse_ratios(graph: ElementGraph, expanded: ExpandedGraph,
+                         partition: PartitionResult) -> Dict[str, float]:
+        ratios: Dict[str, float] = {}
+        for node_id in graph.nodes:
+            element = graph.element(node_id)
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable):
+                ratios[node_id] = expanded.offload_ratio(
+                    node_id, partition.gpu_nodes
+                )
+            else:
+                ratios[node_id] = 0.0
+        return ratios
+
+    def _lower(self, graph: ElementGraph, spec: TrafficSpec,
+               batch_size: int, shares: Dict[str, float],
+               ratios: Dict[str, float]) -> Tuple[
+                   Mapping, Dict[str, str], Dict[str, float]]:
+        """LPT-pack CPU-side work onto cores; round-robin GPUs."""
+        mean_bytes = spec.size_law.mean()
+        cpu_work: List[Tuple[float, str]] = []
+        for node_id in graph.nodes:
+            element = graph.element(node_id)
+            cpu_share = 1.0 - ratios[node_id]
+            if cpu_share <= 0:
+                cpu_work.append((0.0, node_id))
+                continue
+            stats = BatchStats(
+                batch_size=max(1, round(batch_size * cpu_share)),
+                mean_packet_bytes=mean_bytes,
+                match_profile=spec.match_profile,
+            )
+            load = self.cost.cpu_batch_seconds(element, stats) \
+                * shares.get(node_id, 1.0)
+            cpu_work.append((load, node_id))
+
+        core_loads: Dict[str, float] = {core: 0.0 for core in self.cpu_cores}
+        core_assignment: Dict[str, str] = {}
+        for load, node_id in sorted(cpu_work, reverse=True):
+            lightest = min(core_loads, key=core_loads.get)
+            core_assignment[node_id] = lightest
+            core_loads[lightest] += load
+
+        placements: Dict[str, Placement] = {}
+        gpu_cycle = 0
+        for node_id in graph.nodes:
+            ratio = ratios[node_id]
+            gpu_processor = None
+            if ratio > 0:
+                gpu_processor = self.gpus[gpu_cycle % len(self.gpus)]
+                gpu_cycle += 1
+            placements[node_id] = Placement(
+                cpu_processor=core_assignment[node_id],
+                gpu_processor=gpu_processor,
+                offload_ratio=ratio,
+            )
+        return Mapping(placements), core_assignment, core_loads

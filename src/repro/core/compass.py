@@ -1,0 +1,205 @@
+"""The NFCompass runtime facade (Fig. 9).
+
+``NFCompass.deploy`` runs the full pipeline on a service function
+chain: SFC orchestrator (parallelization) -> NF synthesizer
+(element-level redundancy elimination) -> graph-partition task
+allocator -> a runnable :class:`~repro.sim.mapping.Deployment` with
+the persistent-kernel GPU design enabled.
+
+Each stage can be disabled for ablation (the Section V methodology
+evaluates the re-organization and the allocation separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.allocator import AllocationReport, GraphTaskAllocator
+from repro.core.orchestrator import ParallelPlan, SFCOrchestrator
+from repro.core.synthesizer import NFSynthesizer, SynthesisReport
+from repro.elements.graph import ElementGraph
+from repro.hw.costs import CostModel
+from repro.hw.platform import PlatformSpec
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.sim.engine import BranchProfile, SimulationEngine
+from repro.sim.mapping import Deployment, Mapping
+from repro.sim.metrics import ThroughputLatencyReport
+from repro.traffic.generator import TrafficSpec
+
+
+@dataclass
+class CompassPlan:
+    """Everything NFCompass decided for one SFC deployment."""
+
+    sfc: ServiceFunctionChain
+    parallel_plan: Optional[ParallelPlan]
+    synthesis_report: Optional[SynthesisReport]
+    allocation_report: AllocationReport
+    deployment: Deployment
+
+    @property
+    def effective_length(self) -> int:
+        if self.parallel_plan is not None:
+            return self.parallel_plan.effective_length
+        return self.sfc.length
+
+    def describe(self) -> str:
+        lines = [f"NFCompass plan for {self.sfc.name}:"]
+        if self.parallel_plan is not None:
+            lines.append(
+                f"  stages ({self.parallel_plan.effective_length}): "
+                f"{self.parallel_plan.describe()}"
+            )
+        if self.synthesis_report is not None:
+            lines.append("  " + self.synthesis_report.summary())
+        lines.append("  " + self.allocation_report.summary())
+        return "\n".join(lines)
+
+
+class NFCompass:
+    """End-to-end runtime: re-organize, synthesize, allocate, run."""
+
+    def __init__(self, platform: Optional[PlatformSpec] = None,
+                 algorithm: str = "kl",
+                 delta: float = 0.1,
+                 persistent_kernel: bool = True,
+                 enable_parallelization: bool = True,
+                 enable_synthesis: bool = True,
+                 independence_override: Optional[Callable] = None,
+                 cpu_cores: Optional[List[str]] = None,
+                 gpus: Optional[List[str]] = None,
+                 cost_model: Optional[CostModel] = None):
+        self.platform = platform or PlatformSpec()
+        self.cost = cost_model or CostModel(self.platform)
+        self.persistent_kernel = persistent_kernel
+        self.enable_parallelization = enable_parallelization
+        self.enable_synthesis = enable_synthesis
+        self.orchestrator = SFCOrchestrator(
+            independence_override=independence_override
+        )
+        self.synthesizer = NFSynthesizer()
+        self.allocator = GraphTaskAllocator(
+            platform=self.platform,
+            cost_model=self.cost,
+            algorithm=algorithm,
+            delta=delta,
+            cpu_cores=cpu_cores,
+            gpus=gpus,
+            persistent_kernel=persistent_kernel,
+        )
+        self.engine = SimulationEngine(self.platform, self.cost)
+
+    # ------------------------------------------------------------------
+    def build_graph(self, sfc: ServiceFunctionChain,
+                    max_width: Optional[int] = None):
+        """Re-organization only: (parallel plan, synthesized graph)."""
+        parallel_plan = None
+        if self.enable_parallelization:
+            parallel_plan, graph = self.orchestrator.parallelize(
+                sfc, max_width=max_width
+            )
+        else:
+            graph = sfc.concatenated_graph()
+        synthesis_report = None
+        if self.enable_synthesis:
+            graph, synthesis_report = self.synthesizer.synthesize(graph)
+        return parallel_plan, synthesis_report, graph
+
+    def _plan_candidate(self, sfc: ServiceFunctionChain,
+                        spec: TrafficSpec, batch_size: int,
+                        parallelize: bool,
+                        max_width: Optional[int]) -> CompassPlan:
+        parallel_plan = None
+        if parallelize:
+            parallel_plan, graph = self.orchestrator.parallelize(
+                sfc, max_width=max_width
+            )
+        else:
+            graph = sfc.concatenated_graph()
+        synthesis_report = None
+        if self.enable_synthesis:
+            graph, synthesis_report = self.synthesizer.synthesize(graph)
+        mapping, allocation_report = self.allocator.allocate(
+            graph, spec, batch_size=batch_size,
+        )
+        deployment = Deployment(
+            graph=graph,
+            mapping=mapping,
+            persistent_kernel=self.persistent_kernel,
+            name=f"nfcompass:{sfc.name}",
+        )
+        deployment.validate()
+        return CompassPlan(
+            sfc=sfc,
+            parallel_plan=parallel_plan,
+            synthesis_report=synthesis_report,
+            allocation_report=allocation_report,
+            deployment=deployment,
+        )
+
+    def deploy(self, sfc: ServiceFunctionChain, spec: TrafficSpec,
+               batch_size: int = 64,
+               max_width: Optional[int] = None,
+               branch_profile: Optional[BranchProfile] = None
+               ) -> CompassPlan:
+        """Run the full Fig. 9 pipeline for one SFC.
+
+        Re-organization is *profile-guided*: parallelization pays a
+        duplication + XOR-merge cost per packet byte, which can exceed
+        its pipeline-shortening benefit (large packets, cheap NFs —
+        the paper itself notes the branching overhead offsets part of
+        the gain).  The runtime therefore evaluates both the
+        parallelized and the sequential deployment against the traffic
+        profile and keeps the one with the higher simulated capacity.
+        """
+        candidates = [
+            self._plan_candidate(sfc, spec, batch_size,
+                                 parallelize=False, max_width=max_width)
+        ]
+        if self.enable_parallelization and sfc.length > 1:
+            candidates.append(
+                self._plan_candidate(sfc, spec, batch_size,
+                                     parallelize=True,
+                                     max_width=max_width)
+            )
+        if len(candidates) == 1:
+            return candidates[0]
+        capacities = []
+        for plan in candidates:
+            profile = BranchProfile.measure(
+                plan.deployment.graph, spec,
+                sample_packets=max(128, batch_size * 2),
+                batch_size=batch_size,
+            )
+            capacities.append(self.engine.measure_capacity(
+                plan.deployment, spec, batch_size=batch_size,
+                batch_count=40, branch_profile=profile,
+            ))
+        sequential_plan, parallel_plan_candidate = candidates
+        sequential_capacity, parallel_capacity = capacities
+        # The paper's acceptance criterion: take the latency-reducing
+        # parallel structure when it keeps throughput within ~10 % of
+        # the sequential deployment.
+        if parallel_capacity >= 0.9 * sequential_capacity:
+            return parallel_plan_candidate
+        return sequential_plan
+
+    def run(self, sfc: ServiceFunctionChain, spec: TrafficSpec,
+            batch_size: int = 64,
+            batch_count: int = 200,
+            max_width: Optional[int] = None) -> ThroughputLatencyReport:
+        """Deploy and simulate in one call."""
+        plan = self.deploy(sfc, spec, batch_size=batch_size,
+                           max_width=max_width)
+        profile = BranchProfile.measure(
+            plan.deployment.graph, spec,
+            sample_packets=max(256, batch_size * 4),
+            batch_size=batch_size,
+        )
+        return self.engine.run(
+            plan.deployment, spec,
+            batch_size=batch_size,
+            batch_count=batch_count,
+            branch_profile=profile,
+        )

@@ -1,0 +1,172 @@
+"""Traffic duplication and the XOR/OR merge (Section IV.B.1).
+
+The orchestrator duplicates input packets to parallel NF branches.
+After the branches finish, the merge recovers the combined result:
+
+    for each branch output:  diff_i = original XOR output_i
+    combined = diff_1 OR diff_2 OR ... OR diff_k
+    merged   = original XOR combined
+
+Because the parallelization criteria guarantee that writer branches
+touch disjoint bits, OR-ing the diffs never conflicts.  A packet
+dropped by any branch is dropped after the merge (the IDS case).  A
+single size-changing branch is tolerated when every other branch left
+the packet untouched (its output is taken verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.elements.element import ActionProfile, Element, PortSpec, TrafficClass
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+
+
+class MergeConflictError(ValueError):
+    """Raised when branch outputs cannot be merged (size conflict)."""
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _or_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x | y for x, y in zip(a, b))
+
+
+def xor_merge_packets(original_bytes: bytes,
+                      branch_outputs: List[Packet]) -> Packet:
+    """Merge parallel branch outputs of one logical packet.
+
+    ``branch_outputs`` must be non-empty; all outputs carry the same
+    ``uid``.  Returns the merged packet (bookkeeping fields taken from
+    the first output).
+    """
+    if not branch_outputs:
+        raise ValueError("no branch outputs to merge")
+    # Identical outputs merge trivially (e.g. identical tenant NFs
+    # that transform the packet the same way): no conflict to resolve.
+    first_bytes = branch_outputs[0].to_bytes()
+    if all(p.to_bytes() == first_bytes for p in branch_outputs[1:]):
+        merged = branch_outputs[0].clone()
+        for output in branch_outputs:
+            for key, value in output.annotations.items():
+                merged.annotations.setdefault(key, value)
+        return merged
+    same_size = [p for p in branch_outputs
+                 if p.to_bytes().__len__() == len(original_bytes)]
+    resized = [p for p in branch_outputs
+               if len(p.to_bytes()) != len(original_bytes)]
+    if len(resized) > 1:
+        raise MergeConflictError(
+            "more than one branch changed the packet size; such NFs "
+            "must not be parallelized (Table III size-change rule)"
+        )
+    if resized:
+        # The size-changer's output is authoritative; other branches
+        # must have left the bytes unchanged (read-only).
+        for peer in same_size:
+            if peer.to_bytes() != original_bytes:
+                raise MergeConflictError(
+                    "a branch wrote the packet while another resized it"
+                )
+        base = resized[0]
+        merged = base.clone()
+    else:
+        combined = bytes(len(original_bytes))
+        for output in branch_outputs:
+            diff = _xor_bytes(original_bytes, output.to_bytes())
+            combined = _or_bytes(combined, diff)
+        merged_bytes = _xor_bytes(original_bytes, combined)
+        template = branch_outputs[0]
+        merged = Packet.from_bytes(
+            merged_bytes,
+            uid=template.uid,
+            seqno=template.seqno,
+            arrival_time=template.arrival_time,
+        )
+    # Union the branch annotations (classification results, alerts...).
+    for output in branch_outputs:
+        for key, value in output.annotations.items():
+            merged.annotations.setdefault(key, value)
+    return merged
+
+
+class OriginalSnapshot(Element):
+    """Record each packet's pre-branch wire bytes for the merge.
+
+    Placed immediately before the duplicating Tee; the annotation
+    travels with every clone.
+    """
+
+    traffic_class = TrafficClass.OBSERVER
+    idempotent = True
+    actions = ActionProfile(reads_header=True, reads_payload=True)
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        for packet in batch.live_packets:
+            packet.annotations["orig_bytes"] = packet.to_bytes()
+        return {0: batch}
+
+    def signature(self) -> Hashable:
+        return ("OriginalSnapshot",)
+
+
+class XorMerge(Element):
+    """Merge point of parallel SFC branches.
+
+    Receives (as one merged batch, per the graph execution semantics)
+    all surviving clones from ``branch_count`` branches.  For each
+    packet uid, if fewer than ``branch_count`` clones survived, some
+    branch dropped the packet and the merge drops it; otherwise the
+    clones are XOR-merged into one output packet.
+    """
+
+    traffic_class = TrafficClass.MODIFIER
+    actions = ActionProfile(reads_header=True, reads_payload=True,
+                            writes_header=True, writes_payload=True,
+                            drops=True)
+
+    def __init__(self, branch_count: int, name: Optional[str] = None):
+        if branch_count < 1:
+            raise ValueError("branch_count must be positive")
+        super().__init__(name=name, ports=PortSpec(inputs=1, outputs=1))
+        self.branch_count = branch_count
+        self.merged_count = 0
+        self.dropped_by_branch = 0
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        clones_by_uid: Dict[int, List[Packet]] = {}
+        order: List[int] = []
+        for packet in batch.live_packets:
+            if packet.uid not in clones_by_uid:
+                order.append(packet.uid)
+            clones_by_uid.setdefault(packet.uid, []).append(packet)
+        merged_packets: List[Packet] = []
+        for uid in order:
+            clones = clones_by_uid[uid]
+            if len(clones) < self.branch_count:
+                self.dropped_by_branch += 1
+                for clone in clones:
+                    clone.mark_dropped("dropped by parallel branch")
+                continue
+            original = clones[0].annotations.get("orig_bytes")
+            if original is None:
+                raise MergeConflictError(
+                    f"packet uid={uid} reached XorMerge without an "
+                    "OriginalSnapshot annotation"
+                )
+            merged = xor_merge_packets(original, clones)
+            merged.annotations.pop("orig_bytes", None)
+            merged_packets.append(merged)
+            self.merged_count += 1
+        merged_packets.sort(key=lambda p: p.seqno)
+        return {0: PacketBatch(merged_packets,
+                               creation_time=batch.creation_time)}
+
+    def signature(self) -> Hashable:
+        return ("unique", self.uid)  # stage-specific: never deduplicate
+
+    def cost_hints(self) -> Dict[str, float]:
+        return {"branches": float(self.branch_count)}

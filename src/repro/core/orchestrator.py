@@ -1,0 +1,205 @@
+"""SFC-level parallelization (Section IV.B.1).
+
+The orchestrator analyzes the order-dependency of the NFs in a chain
+using the Table II/III calculus and re-organizes the sequential chain
+into *stages*: NFs within a stage are pairwise independent and process
+duplicated traffic in parallel; stages execute in sequence.  The
+*effective length* of the chain drops from the NF count to the stage
+count — the mechanism behind the paper's Fig. 13/14 latency wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.actions import hazards_between, parallelizable
+from repro.core.merge import OriginalSnapshot, XorMerge
+from repro.elements.graph import ElementGraph
+from repro.elements.standard import Tee
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+
+
+@dataclass
+class ParallelPlan:
+    """The staged re-organization of one SFC."""
+
+    sfc: ServiceFunctionChain
+    stages: List[List[NetworkFunction]]
+    #: (former NF name, later NF name, hazard names) for each ordered
+    #: pair that could NOT be parallelized (diagnostics).
+    conflicts: List[Tuple[str, str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def effective_length(self) -> int:
+        """Chain length after re-organization (the paper's metric)."""
+        return len(self.stages)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((len(stage) for stage in self.stages), default=0)
+
+    def describe(self) -> str:
+        parts = []
+        for stage in self.stages:
+            names = ", ".join(nf.name for nf in stage)
+            parts.append(f"[{names}]" if len(stage) > 1 else names)
+        return " -> ".join(parts)
+
+
+class SFCOrchestrator:
+    """Analyzes SFCs and builds their parallelized deployment graphs."""
+
+    def __init__(self,
+                 independence_override: Optional[
+                     Callable[[NetworkFunction, NetworkFunction], bool]
+                 ] = None):
+        """``independence_override``, when given, replaces the Table III
+        verdict for a specific NF pair (used to model multi-tenant
+        chains whose identically-typed NFs are known independent)."""
+        self._override = independence_override
+
+    # ------------------------------------------------------------------
+    def _pair_parallelizable(self, former: NetworkFunction,
+                             later: NetworkFunction) -> bool:
+        if self._override is not None:
+            verdict = self._override(former, later)
+            if verdict is not None:
+                return verdict
+        return parallelizable(former.actions, later.actions)
+
+    def analyze(self, sfc: ServiceFunctionChain,
+                max_width: Optional[int] = None) -> ParallelPlan:
+        """Compute the staged plan for ``sfc``.
+
+        Each NF is placed in the earliest stage such that it is
+        independent of every NF in every later-or-equal position that
+        has not yet executed — concretely, an NF depends on the latest
+        earlier NF it conflicts with, and must also be pairwise
+        independent of its stage-mates.  ``max_width`` caps stage size
+        (Fig. 13's parallelism-degree configurations).
+        """
+        stages: List[List[NetworkFunction]] = []
+        stage_of: List[int] = []
+        conflicts: List[Tuple[str, str, Tuple[str, ...]]] = []
+        for index, nf in enumerate(sfc.nfs):
+            earliest = 0
+            for j in range(index):
+                if not self._pair_parallelizable(sfc.nfs[j], nf):
+                    earliest = max(earliest, stage_of[j] + 1)
+                    hazard_names = tuple(sorted(
+                        h.value for h in hazards_between(
+                            sfc.nfs[j].actions, nf.actions
+                        )
+                    ))
+                    conflicts.append(
+                        (sfc.nfs[j].name, nf.name, hazard_names)
+                    )
+            placed = None
+            for candidate in range(earliest, len(stages)):
+                stage = stages[candidate]
+                if max_width is not None and len(stage) >= max_width:
+                    continue
+                # Stage-mates always precede ``nf`` in SFC order, so the
+                # ordered Table III criterion is the right check: every
+                # branch receives the duplicated original packet, and
+                # the merge applies the later NF's writes.
+                if all(self._pair_parallelizable(member, nf)
+                       for member in stage):
+                    placed = candidate
+                    break
+            if placed is None:
+                stages.append([nf])
+                stage_of.append(len(stages) - 1)
+            else:
+                stages[placed].append(nf)
+                stage_of.append(placed)
+        return ParallelPlan(sfc=sfc, stages=stages, conflicts=conflicts)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _embed(target: ElementGraph, sub: ElementGraph,
+               prefix: str) -> Tuple[List[str], List[str]]:
+        """Copy ``sub`` into ``target`` under ``prefix``; return its
+        (sources, sinks) as renamed node ids."""
+        renamed = sub.copy(rename=lambda n: prefix + n)
+        for node_id, element in renamed.elements().items():
+            target._elements[node_id] = element
+        target._edges.extend(renamed.edges)
+        return ([prefix + n for n in sub.sources()],
+                [prefix + n for n in sub.sinks()])
+
+    def build_stage_graph(self, stages: Sequence[Sequence[NetworkFunction]],
+                          name: str = "parallel-sfc") -> ElementGraph:
+        """Materialize the staged plan as one deployment graph.
+
+        Multi-NF stages get OriginalSnapshot -> Tee(k) -> branches ->
+        XorMerge(k); single-NF stages embed the NF graph directly.
+        Stages are chained in order.
+        """
+        graph = ElementGraph(name=name)
+        previous_tails: List[str] = []
+        for stage_index, stage in enumerate(stages):
+            if not stage:
+                raise ValueError(f"stage {stage_index} is empty")
+            prefix = f"s{stage_index}/"
+            if len(stage) == 1:
+                heads, tails = self._embed(
+                    graph, stage[0].graph, prefix + "b0/"
+                )
+            else:
+                snapshot_id = graph.add(
+                    OriginalSnapshot(name=f"{prefix}snapshot")
+                )
+                tee_id = graph.add(
+                    Tee(fanout=len(stage), name=f"{prefix}tee")
+                )
+                merge_id = graph.add(
+                    XorMerge(branch_count=len(stage),
+                             name=f"{prefix}merge")
+                )
+                graph.connect(snapshot_id, tee_id)
+                for branch_index, nf in enumerate(stage):
+                    branch_prefix = f"{prefix}b{branch_index}/"
+                    branch_heads, branch_tails = self._embed(
+                        graph, nf.graph, branch_prefix
+                    )
+                    for head in branch_heads:
+                        graph.connect(tee_id, head,
+                                      src_port=branch_index)
+                    for tail in branch_tails:
+                        graph.connect(tail, merge_id)
+                heads, tails = [snapshot_id], [merge_id]
+            for tail in previous_tails:
+                for head in heads:
+                    graph.connect(tail, head)
+            previous_tails = tails
+        graph.validate()
+        return graph
+
+    def parallelize(self, sfc: ServiceFunctionChain,
+                    max_width: Optional[int] = None) -> Tuple[
+                        ParallelPlan, ElementGraph]:
+        """Analyze + materialize in one call."""
+        plan = self.analyze(sfc, max_width=max_width)
+        graph = self.build_stage_graph(
+            plan.stages, name=f"{sfc.name}/parallel"
+        )
+        return plan, graph
+
+
+def assume_identical_nfs_independent(former: NetworkFunction,
+                                     later: NetworkFunction):
+    """Override used by the Fig. 13/14 experiments.
+
+    The paper's parallelization study chains four *identical* NFs and
+    parallelizes them — they are separate tenant instances whose
+    verdicts are independent even when the Table III conservative
+    analysis would serialize writers.  Returning None defers to the
+    Table III calculus for differently-typed pairs.
+    """
+    if former.nf_type == later.nf_type:
+        return True
+    return None

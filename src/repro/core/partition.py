@@ -1,0 +1,401 @@
+"""Graph partitioning algorithms (Section IV.C.3).
+
+Two algorithms split the expanded, weighted element graph into a CPU
+side and a GPU side:
+
+- :func:`kernighan_lin_partition` — a modified Kernighan–Lin/FM
+  refinement: starting from a greedy initial partition, passes of
+  locked single-node moves are applied, keeping the best prefix of
+  each pass, until no pass improves the objective.
+- :func:`agglomerative_partition` — the paper's lightweight
+  O(k log k) seed-based clustering: pick a CPU seed and a GPU seed,
+  sort edges by communication weight, and merge clusters over the
+  heaviest edges first so expensive edges are never cut; leftover
+  clusters go to whichever side improves the objective least.
+
+The objective models the per-batch pipeline bottleneck:
+
+    max(heaviest CPU element, cpu_load / cores,
+        heaviest GPU element, gpu_load / gpus)
+      + CUT_PIPELINE_FACTOR * cut_transfer_cost
+
+where ``cpu_load``/``gpu_load`` are the summed service times of each
+side and the cut cost is the PCIe transfer time of edges crossing the
+boundary (transfers run on dedicated DMA engines, so they form their
+own pipeline stage) — "maximize resource utilization and throughput
+while minimizing communication costs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+#: How much of the PCIe cut contributes to the per-batch makespan.
+#: 0 would mean transfers overlap perfectly with compute; 1 would mean
+#: they serialize; the engine's duplex DMA pipelining sits in between.
+CUT_PIPELINE_FACTOR = 0.5
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one partitioning run."""
+
+    cpu_nodes: Set[str]
+    gpu_nodes: Set[str]
+    objective: float
+    cut_weight: float
+    cpu_load: float
+    gpu_load: float
+    algorithm: str
+    passes: int = 0
+
+    def side_of(self, node: str) -> str:
+        return "gpu" if node in self.gpu_nodes else "cpu"
+
+
+def _loads(graph: nx.Graph, cpu_nodes: Set[str],
+           gpu_nodes: Set[str]) -> Tuple[float, float]:
+    cpu_load = sum(graph.nodes[n].get("cpu_time", 0.0) for n in cpu_nodes)
+    gpu_load = sum(graph.nodes[n].get("gpu_time", 0.0) for n in gpu_nodes)
+    return cpu_load, gpu_load
+
+
+def _cut_weight(graph: nx.Graph, gpu_nodes: Set[str]) -> float:
+    cut = 0.0
+    for u, v, data in graph.edges(data=True):
+        if (u in gpu_nodes) != (v in gpu_nodes):
+            cut += data.get("weight", 0.0)
+    return cut
+
+
+def _group_of(graph: nx.Graph, node: str) -> str:
+    return graph.nodes[node].get("group", node)
+
+
+def _group_loads(graph: nx.Graph, gpu_nodes: Set[str]
+                 ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-element-group CPU-side and GPU-side sums.
+
+    The slices of one original element execute on one core (CPU side)
+    or as one kernel stream (GPU side), so the pipeline bottleneck is
+    the heaviest *group*, not the raw load divided by core count.
+    """
+    cpu_groups: Dict[str, float] = {}
+    gpu_groups: Dict[str, float] = {}
+    for node, data in graph.nodes(data=True):
+        group = data.get("group", node)
+        if node in gpu_nodes:
+            gpu_groups[group] = gpu_groups.get(group, 0.0) \
+                + data.get("gpu_time", 0.0)
+        else:
+            cpu_groups[group] = cpu_groups.get(group, 0.0) \
+                + data.get("cpu_time", 0.0)
+    return cpu_groups, gpu_groups
+
+
+def evaluate(graph: nx.Graph, gpu_nodes: Set[str],
+             cpu_cores: int = 1,
+             gpu_units: int = 1) -> Tuple[float, float, float, float]:
+    """Return (objective, cut, cpu_load, gpu_load).
+
+    The objective approximates the per-batch pipeline bottleneck:
+    ``max(heaviest CPU element, cpu_load / cores, heaviest GPU
+    element, gpu_load) + cut`` — an element's CPU share is pinned to a
+    single core, so spreading across cores cannot shrink it below the
+    heaviest single element.
+    """
+    all_nodes = set(graph.nodes)
+    cpu_nodes = all_nodes - gpu_nodes
+    cpu_load, gpu_load = _loads(graph, cpu_nodes, gpu_nodes)
+    cut = _cut_weight(graph, gpu_nodes)
+    cpu_groups, gpu_groups = _group_loads(graph, gpu_nodes)
+    cpu_bottleneck = max(
+        max(cpu_groups.values(), default=0.0),
+        cpu_load / max(1, cpu_cores),
+    )
+    gpu_bottleneck = max(
+        max(gpu_groups.values(), default=0.0),
+        gpu_load / max(1, gpu_units),
+    )
+    # PCIe transfers partially pipeline with compute (dedicated DMA
+    # engines, but shared batch lifetimes), so the cut contributes at
+    # CUT_PIPELINE_FACTOR rather than fully serially.
+    objective = (max(cpu_bottleneck, gpu_bottleneck)
+                 + CUT_PIPELINE_FACTOR * cut)
+    return objective, cut, cpu_load, gpu_load
+
+
+def _movable(graph: nx.Graph, node: str) -> bool:
+    return graph.nodes[node].get("pinned") != "cpu"
+
+
+def _greedy_initial(graph: nx.Graph, cpu_cores: int,
+                    gpu_units: int = 1) -> Set[str]:
+    """Seed the KL refinement: offload nodes whose GPU time is cheaper
+    than their fair share of CPU time, cheapest-relative first."""
+    gpu_nodes: Set[str] = set()
+    candidates = [n for n in graph.nodes if _movable(graph, n)]
+    candidates.sort(
+        key=lambda n: (graph.nodes[n].get("gpu_time", float("inf"))
+                       / max(1e-12, graph.nodes[n].get("cpu_time", 1e-12)))
+    )
+    best = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]
+    for node in candidates:
+        trial = gpu_nodes | {node}
+        objective = evaluate(graph, trial, cpu_cores, gpu_units)[0]
+        if objective < best:
+            gpu_nodes = trial
+            best = objective
+    return gpu_nodes
+
+
+def kernighan_lin_partition(graph: nx.Graph, cpu_cores: int = 1,
+                            max_passes: int = 8,
+                            initial_gpu: Optional[Set[str]] = None,
+                            gpu_units: int = 1) -> PartitionResult:
+    """Modified KL/FM partitioning with pinned-node support."""
+    gpu_nodes = set(initial_gpu) if initial_gpu is not None \
+        else _greedy_initial(graph, cpu_cores, gpu_units)
+    gpu_nodes = {n for n in gpu_nodes if _movable(graph, n)}
+    best_objective = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]
+
+    passes = 0
+    for _pass in range(max_passes):
+        passes += 1
+        locked: Set[str] = set()
+        trail: List[Tuple[str, float]] = []
+        working = set(gpu_nodes)
+        current = best_objective
+        movable_nodes = [n for n in graph.nodes if _movable(graph, n)]
+        # Incremental state: moving one node updates loads and cut in
+        # O(degree + groups) rather than re-scanning the whole graph.
+        _obj, cut, cpu_load, gpu_load = evaluate(graph, working,
+                                                 cpu_cores, gpu_units)
+        cpu_groups, gpu_groups = _group_loads(graph, working)
+
+        def _objective_after(node: str) -> Tuple[float, float]:
+            """(objective, d_cut) if ``node`` were toggled."""
+            on_gpu = node in working
+            d_cut = 0.0
+            for neighbor, data in graph[node].items():
+                weight = data.get("weight", 0.0)
+                if (neighbor in working) == on_gpu:
+                    d_cut += weight  # same side now, cut after the move
+                else:
+                    d_cut -= weight
+            node_cpu = graph.nodes[node].get("cpu_time", 0.0)
+            node_gpu = graph.nodes[node].get("gpu_time", 0.0)
+            group = _group_of(graph, node)
+            new_cpu_load = cpu_load + (node_cpu if on_gpu else -node_cpu)
+            new_gpu_load = gpu_load + (-node_gpu if on_gpu else node_gpu)
+            cpu_group_delta = node_cpu if on_gpu else -node_cpu
+            gpu_group_delta = -node_gpu if on_gpu else node_gpu
+            max_cpu_group = 0.0
+            for g, value in cpu_groups.items():
+                if g == group:
+                    value += cpu_group_delta
+                if value > max_cpu_group:
+                    max_cpu_group = value
+            if group not in cpu_groups and cpu_group_delta > max_cpu_group:
+                max_cpu_group = cpu_group_delta
+            max_gpu_group = 0.0
+            for g, value in gpu_groups.items():
+                if g == group:
+                    value += gpu_group_delta
+                if value > max_gpu_group:
+                    max_gpu_group = value
+            if group not in gpu_groups and gpu_group_delta > max_gpu_group:
+                max_gpu_group = gpu_group_delta
+            cpu_bottleneck = max(max_cpu_group,
+                                 new_cpu_load / max(1, cpu_cores))
+            gpu_bottleneck = max(max_gpu_group,
+                                 new_gpu_load / max(1, gpu_units))
+            return (max(cpu_bottleneck, gpu_bottleneck)
+                    + CUT_PIPELINE_FACTOR * (cut + d_cut),
+                    d_cut)
+
+        for _step in range(len(movable_nodes)):
+            best_move = None
+            best_move_objective = None
+            best_d_cut = 0.0
+            for node in movable_nodes:
+                if node in locked:
+                    continue
+                objective, d_cut = _objective_after(node)
+                if (best_move_objective is None
+                        or objective < best_move_objective):
+                    best_move = node
+                    best_move_objective = objective
+                    best_d_cut = d_cut
+            if best_move is None:
+                break
+            locked.add(best_move)
+            cut += best_d_cut
+            node_cpu = graph.nodes[best_move].get("cpu_time", 0.0)
+            node_gpu = graph.nodes[best_move].get("gpu_time", 0.0)
+            group = _group_of(graph, best_move)
+            if best_move in working:  # GPU -> CPU
+                working.remove(best_move)
+                cpu_load += node_cpu
+                gpu_load -= node_gpu
+                cpu_groups[group] = cpu_groups.get(group, 0.0) + node_cpu
+                gpu_groups[group] = gpu_groups.get(group, 0.0) - node_gpu
+            else:  # CPU -> GPU
+                working.add(best_move)
+                cpu_load -= node_cpu
+                gpu_load += node_gpu
+                cpu_groups[group] = cpu_groups.get(group, 0.0) - node_cpu
+                gpu_groups[group] = gpu_groups.get(group, 0.0) + node_gpu
+            trail.append((best_move, best_move_objective))
+        # Keep the best prefix of the pass.
+        best_prefix_index = None
+        best_prefix_objective = current
+        for index, (_node, objective) in enumerate(trail):
+            if objective < best_prefix_objective:
+                best_prefix_objective = objective
+                best_prefix_index = index
+        if best_prefix_index is None:
+            break  # pass produced no improvement: converged
+        for node, _objective in trail[: best_prefix_index + 1]:
+            if node in gpu_nodes:
+                gpu_nodes.remove(node)
+            else:
+                gpu_nodes.add(node)
+        best_objective = best_prefix_objective
+
+    objective, cut, cpu_load, gpu_load = evaluate(graph, gpu_nodes,
+                                                  cpu_cores, gpu_units)
+    all_nodes = set(graph.nodes)
+    return PartitionResult(
+        cpu_nodes=all_nodes - gpu_nodes,
+        gpu_nodes=gpu_nodes,
+        objective=objective,
+        cut_weight=cut,
+        cpu_load=cpu_load,
+        gpu_load=gpu_load,
+        algorithm="kernighan-lin",
+        passes=passes,
+    )
+
+
+class _UnionFind:
+    def __init__(self, nodes):
+        self.parent = {n: n for n in nodes}
+
+    def find(self, node):
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+        return rb
+
+
+def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
+                            seed_cpu: Optional[str] = None,
+                            seed_gpu: Optional[str] = None,
+                            gpu_units: int = 1) -> PartitionResult:
+    """Seed-based agglomerative clustering (the lightweight scheme).
+
+    Heaviest edges are contracted first (cutting them would be the most
+    expensive), except edges that would fuse the CPU seed's cluster
+    with the GPU seed's cluster.  Clusters ending up attached to
+    neither seed are assigned greedily by objective.
+    """
+    nodes = list(graph.nodes)
+    if not nodes:
+        return PartitionResult(set(), set(), 0.0, 0.0, 0.0, 0.0,
+                               algorithm="agglomerative")
+    pinned = [n for n in nodes if not _movable(graph, n)]
+    movable_nodes = [n for n in nodes if _movable(graph, n)]
+    if seed_cpu is None:
+        seed_cpu = pinned[0] if pinned else nodes[0]
+    if seed_gpu is None:
+        # The documented default: a GPU-capable element as GPU seed;
+        # prefer the one with the best GPU/CPU time ratio.
+        if movable_nodes:
+            seed_gpu = min(
+                movable_nodes,
+                key=lambda n: (graph.nodes[n].get("gpu_time", float("inf"))
+                               / max(1e-12,
+                                     graph.nodes[n].get("cpu_time", 1e-12))),
+            )
+        else:
+            seed_gpu = None
+
+    uf = _UnionFind(nodes)
+    # Pinned nodes always belong with the CPU seed.
+    for node in pinned:
+        uf.union(node, seed_cpu)
+    # The GPU seed's whole element moves as a unit: an element's
+    # slices execute as one kernel stream, so splitting them between
+    # the seeds would fragment the very offload the seed represents.
+    if seed_gpu is not None:
+        seed_group = _group_of(graph, seed_gpu)
+        for node in movable_nodes:
+            if _group_of(graph, node) == seed_group:
+                uf.union(node, seed_gpu)
+
+    def cluster_sides():
+        cpu_root = uf.find(seed_cpu)
+        gpu_root = uf.find(seed_gpu) if seed_gpu is not None else None
+        return cpu_root, gpu_root
+
+    edges = sorted(graph.edges(data=True),
+                   key=lambda e: e[2].get("weight", 0.0), reverse=True)
+    for u, v, _data in edges:
+        if not (_movable(graph, u) and _movable(graph, v)):
+            # Edges to pinned (CPU-only) elements mark the offload
+            # boundary; contracting them would glue every offloadable
+            # element to the I/O path.  Whether to cut them is the
+            # greedy straggler decision below.
+            continue
+        cpu_root, gpu_root = cluster_sides()
+        ru, rv = uf.find(u), uf.find(v)
+        if ru == rv:
+            continue
+        roots = {ru, rv}
+        if gpu_root is not None and cpu_root in roots and gpu_root in roots:
+            continue  # never fuse the two seed clusters
+        uf.union(u, v)
+
+    cpu_root, gpu_root = cluster_sides()
+    gpu_nodes: Set[str] = set()
+    stragglers: List[str] = []
+    for node in nodes:
+        root = uf.find(node)
+        if gpu_root is not None and root == gpu_root:
+            gpu_nodes.add(node)
+        elif root == cpu_root:
+            continue
+        else:
+            stragglers.append(node)
+    for node in stragglers:
+        if not _movable(graph, node):
+            continue
+        with_gpu = evaluate(graph, gpu_nodes | {node},
+                            cpu_cores, gpu_units)[0]
+        without = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]
+        if with_gpu < without:
+            gpu_nodes.add(node)
+
+    objective, cut, cpu_load, gpu_load = evaluate(graph, gpu_nodes,
+                                                  cpu_cores, gpu_units)
+    return PartitionResult(
+        cpu_nodes=set(nodes) - gpu_nodes,
+        gpu_nodes=gpu_nodes,
+        objective=objective,
+        cut_weight=cut,
+        cpu_load=cpu_load,
+        gpu_load=gpu_load,
+        algorithm="agglomerative",
+    )

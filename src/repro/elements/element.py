@@ -1,0 +1,173 @@
+"""Element base classes.
+
+An :class:`Element` is the unit of packet processing (Click's
+``element``): it consumes one input batch and emits batches on its
+output ports.  Elements carry three kinds of metadata that the
+NFCompass algorithms need:
+
+- a :class:`TrafficClass` (classifier / modifier / shaper / ...) used
+  by the NF synthesizer's re-ordering legality rules (classifiers may
+  not move across modifiers or shapers, Section IV.B.2);
+- an :class:`ActionProfile` describing which packet regions the
+  element reads/writes and whether it can drop — the per-element
+  analogue of the paper's Table II;
+- cost hints consumed by the :mod:`repro.hw.costs` performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.net.batch import PacketBatch
+
+_element_ids = itertools.count()
+
+
+class TrafficClass(enum.Enum):
+    """Element role taxonomy used by the synthesis re-ordering rules."""
+
+    SOURCE = "source"        # injects packets (FromDevice)
+    SINK = "sink"            # terminates packets (ToDevice, Discard)
+    CLASSIFIER = "classifier"  # reads fields, routes to output ports
+    MODIFIER = "modifier"    # rewrites header and/or payload
+    SHAPER = "shaper"        # delays/schedules (queues, raters)
+    FILTER = "filter"        # may drop packets
+    OBSERVER = "observer"    # read-only (counters, probes)
+
+
+@dataclass(frozen=True)
+class ActionProfile:
+    """Which packet regions an element touches (Table II, per element).
+
+    ``adds_removes_bits`` marks size-changing elements (encapsulation,
+    compression); they are the most restrictive for parallelization.
+    """
+
+    reads_header: bool = False
+    reads_payload: bool = False
+    writes_header: bool = False
+    writes_payload: bool = False
+    adds_removes_bits: bool = False
+    drops: bool = False
+
+    def union(self, other: "ActionProfile") -> "ActionProfile":
+        """Combine profiles (the profile of a composed pipeline)."""
+        return ActionProfile(
+            reads_header=self.reads_header or other.reads_header,
+            reads_payload=self.reads_payload or other.reads_payload,
+            writes_header=self.writes_header or other.writes_header,
+            writes_payload=self.writes_payload or other.writes_payload,
+            adds_removes_bits=self.adds_removes_bits or other.adds_removes_bits,
+            drops=self.drops or other.drops,
+        )
+
+    @property
+    def writes(self) -> bool:
+        return self.writes_header or self.writes_payload or self.adds_removes_bits
+
+    @property
+    def reads(self) -> bool:
+        return self.reads_header or self.reads_payload
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Number of input and output ports an element exposes."""
+
+    inputs: int = 1
+    outputs: int = 1
+
+
+class Element:
+    """Base packet-processing element.
+
+    Subclasses implement :meth:`process`, returning a mapping from
+    output-port index to the batch pushed out of that port.  Elements
+    are stateless unless they set ``is_stateful`` (which constrains
+    both synthesis re-ordering and GPU offloading).
+    """
+
+    #: Default role; subclasses override.
+    traffic_class: TrafficClass = TrafficClass.OBSERVER
+    #: Default action profile; subclasses override.
+    actions: ActionProfile = ActionProfile()
+    #: Whether the element keeps per-flow state.
+    is_stateful: bool = False
+    #: Whether a GPU implementation exists (see OffloadableElement).
+    offloadable: bool = False
+    #: Whether applying the element twice equals applying it once.
+    #: Only idempotent elements may be de-duplicated by the synthesizer.
+    idempotent: bool = False
+
+    def __init__(self, name: Optional[str] = None,
+                 ports: PortSpec = PortSpec()):
+        self.uid = next(_element_ids)
+        self.name = name or f"{type(self).__name__}@{self.uid}"
+        self.ports = ports
+        # Runtime counters (inputs to the runtime profiler).
+        self.batches_processed = 0
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        self.port_packet_counts: Dict[int, int] = {
+            port: 0 for port in range(ports.outputs)
+        }
+
+    # ------------------------------------------------------------------
+    # Functional interface
+    # ------------------------------------------------------------------
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        """Process ``batch``; return {output port: batch}.
+
+        Packets marked dropped must be routed to no port (they simply
+        disappear from the outputs); the base class bookkeeping in
+        :meth:`push` accounts for them.
+        """
+        raise NotImplementedError
+
+    def push(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        """Process with bookkeeping (the entry point callers use)."""
+        incoming = len(batch.live_packets)
+        outputs = self.process(batch)
+        outgoing = 0
+        for port, out_batch in outputs.items():
+            if port >= self.ports.outputs:
+                raise ValueError(
+                    f"{self.name} pushed to nonexistent port {port}"
+                )
+            live = len(out_batch.live_packets)
+            outgoing += live
+            self.port_packet_counts[port] = (
+                self.port_packet_counts.get(port, 0) + live
+            )
+        self.batches_processed += 1
+        self.packets_processed += incoming
+        self.packets_dropped += max(0, incoming - outgoing)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Metadata interface (used by NFCompass algorithms)
+    # ------------------------------------------------------------------
+    def signature(self) -> Hashable:
+        """Deduplication identity.
+
+        Two elements with equal signatures perform the same computation
+        on any packet and may be merged by the NF synthesizer.  The
+        default signature is unique per instance (never deduplicable);
+        deduplicable elements override this with their configuration.
+        """
+        return ("unique", self.uid)
+
+    def cost_hints(self) -> Dict[str, float]:
+        """Parameters the performance model may need (e.g. rule count)."""
+        return {}
+
+    @property
+    def kind(self) -> str:
+        """Stable class-name key used by the cost model tables."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,210 @@
+"""Ablation studies over NFCompass's design choices.
+
+Four ablations, each isolating one mechanism DESIGN.md calls out:
+
+- ``reorganization`` — contribution of SFC parallelization and NF
+  synthesis (each on/off) to end-to-end throughput and latency;
+- ``partition_algorithm`` — modified Kernighan–Lin versus the
+  lightweight agglomerative clustering: solution quality (simulated
+  capacity) and planning time;
+- ``persistent_kernel`` — NFCompass's persistent GPU kernels versus
+  per-batch launch/teardown;
+- ``expansion_delta`` — offload-ratio granularity (the paper's
+  delta = 10 %) versus coarser/finer virtual-instance expansion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.allocator import GraphTaskAllocator
+from repro.core.compass import NFCompass
+from repro.experiments import common
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.sim.engine import BranchProfile
+from repro.sim.mapping import Deployment
+from repro.traffic.distributions import IMIXSize
+from repro.traffic.generator import TrafficSpec
+
+
+@dataclass
+class AblationRow:
+    study: str
+    variant: str
+    throughput_gbps: float
+    latency_ms: float
+    planning_seconds: float = 0.0
+
+
+def _default_spec() -> TrafficSpec:
+    return TrafficSpec(size_law=IMIXSize(), offered_gbps=40.0, seed=21)
+
+
+def _chain() -> ServiceFunctionChain:
+    return ServiceFunctionChain(
+        [make_nf("firewall"), make_nf("ids"), make_nf("ipsec")],
+        name="fw-ids-ipsec",
+    )
+
+
+def ablate_reorganization(quick: bool = True) -> List[AblationRow]:
+    """Turn parallelization and synthesis on/off independently."""
+    spec = _default_spec()
+    batch_count = 60 if quick else 150
+    rows: List[AblationRow] = []
+    variants = [
+        ("full", True, True),
+        ("no-parallelization", False, True),
+        ("no-synthesis", True, False),
+        ("neither", False, False),
+    ]
+    for name, parallelization, synthesis in variants:
+        compass = NFCompass(
+            enable_parallelization=parallelization,
+            enable_synthesis=synthesis,
+        )
+        start = time.perf_counter()
+        plan = compass.deploy(_chain(), spec, batch_size=64)
+        planning = time.perf_counter() - start
+        profile = BranchProfile.measure(plan.deployment.graph, spec,
+                                        sample_packets=256,
+                                        batch_size=64)
+        result = common.measure(compass.engine, plan.deployment, spec,
+                                batch_size=64, batch_count=batch_count,
+                                branch_profile=profile)
+        rows.append(AblationRow(
+            study="reorganization",
+            variant=name,
+            throughput_gbps=result.throughput_gbps,
+            latency_ms=result.latency_ms,
+            planning_seconds=planning,
+        ))
+    return rows
+
+
+def ablate_partition_algorithm(quick: bool = True) -> List[AblationRow]:
+    """KL vs the O(k log k) agglomerative scheme."""
+    spec = _default_spec()
+    batch_count = 60 if quick else 150
+    engine = common.make_engine()
+    rows: List[AblationRow] = []
+    graph = _chain().concatenated_graph()
+    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+                                    batch_size=64)
+    for algorithm in ("kl", "agglomerative"):
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       algorithm=algorithm)
+        start = time.perf_counter()
+        mapping, _report = allocator.allocate(graph, spec,
+                                              batch_size=64,
+                                              branch_profile=profile)
+        planning = time.perf_counter() - start
+        deployment = Deployment(graph, mapping, persistent_kernel=True,
+                                name=f"gta-{algorithm}")
+        result = common.measure(engine, deployment, spec,
+                                batch_size=64, batch_count=batch_count,
+                                branch_profile=profile)
+        rows.append(AblationRow(
+            study="partition_algorithm",
+            variant=algorithm,
+            throughput_gbps=result.throughput_gbps,
+            latency_ms=result.latency_ms,
+            planning_seconds=planning,
+        ))
+    return rows
+
+
+def ablate_persistent_kernel(quick: bool = True) -> List[AblationRow]:
+    """Persistent kernels vs per-batch launch/teardown."""
+    spec = _default_spec()
+    batch_count = 60 if quick else 150
+    engine = common.make_engine()
+    rows: List[AblationRow] = []
+    graph = ServiceFunctionChain([make_nf("ipsec")]).concatenated_graph()
+    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+                                    batch_size=64)
+    for persistent in (True, False):
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       persistent_kernel=persistent)
+        mapping, _report = allocator.allocate(graph, spec,
+                                              batch_size=64,
+                                              branch_profile=profile)
+        deployment = Deployment(
+            graph, mapping, persistent_kernel=persistent,
+            name=f"ipsec-{'persistent' if persistent else 'launched'}",
+        )
+        result = common.measure(engine, deployment, spec,
+                                batch_size=64, batch_count=batch_count,
+                                branch_profile=profile)
+        rows.append(AblationRow(
+            study="persistent_kernel",
+            variant="persistent" if persistent else "per-batch-launch",
+            throughput_gbps=result.throughput_gbps,
+            latency_ms=result.latency_ms,
+        ))
+    return rows
+
+
+def ablate_expansion_delta(quick: bool = True,
+                           deltas: Sequence[float] = (0.5, 0.25, 0.1,
+                                                      0.05)
+                           ) -> List[AblationRow]:
+    """Offload-ratio granularity of the virtual-instance expansion."""
+    spec = _default_spec()
+    batch_count = 60 if quick else 150
+    engine = common.make_engine()
+    rows: List[AblationRow] = []
+    graph = ServiceFunctionChain(
+        [make_nf("ipsec"), make_nf("ids")]
+    ).concatenated_graph()
+    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+                                    batch_size=64)
+    for delta in deltas:
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       delta=delta)
+        start = time.perf_counter()
+        mapping, _report = allocator.allocate(graph, spec,
+                                              batch_size=64,
+                                              branch_profile=profile)
+        planning = time.perf_counter() - start
+        deployment = Deployment(graph, mapping, persistent_kernel=True,
+                                name=f"delta-{delta}")
+        result = common.measure(engine, deployment, spec,
+                                batch_size=64, batch_count=batch_count,
+                                branch_profile=profile)
+        rows.append(AblationRow(
+            study="expansion_delta",
+            variant=f"delta={delta:g}",
+            throughput_gbps=result.throughput_gbps,
+            latency_ms=result.latency_ms,
+            planning_seconds=planning,
+        ))
+    return rows
+
+
+def run_all(quick: bool = True) -> List[AblationRow]:
+    """Run every ablation study; returns the combined rows."""
+    rows: List[AblationRow] = []
+    rows.extend(ablate_reorganization(quick))
+    rows.extend(ablate_partition_algorithm(quick))
+    rows.extend(ablate_persistent_kernel(quick))
+    rows.extend(ablate_expansion_delta(quick))
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Render all ablation results as one table."""
+    rows = run_all(quick)
+    return common.format_table(
+        ["study", "variant", "Gbps", "latency ms", "planning s"],
+        [[r.study, r.variant, r.throughput_gbps, r.latency_ms,
+          r.planning_seconds] for r in rows],
+        title="Ablations over NFCompass design choices",
+    )
+
+
+if __name__ == "__main__":
+    print(main(quick=False))

@@ -1,0 +1,202 @@
+"""Figs. 16/17 — validation on a real service function chain.
+
+The chain of Fig. 16: firewall (ClassBench-style ACL) -> IP router ->
+NAT, with ACLs of 200 / 1 000 / 10 000 rules and packet sizes of
+64 / 128 / 1500 bytes.  Systems compared:
+
+- **FastClick** — CPU-only batched Click; each NF keeps its own
+  classification tree, whose footprint grows with the ACL;
+- **NBA** — per-element adaptive GPU offloading, same per-NF
+  classification trees, per-batch kernel launches;
+- **NFCompass** — full pipeline: SFC parallelization + NF synthesis +
+  GTA with persistent kernels; its synthesized classification uses
+  tuple-space search, whose cost grows with distinct prefix-length
+  pairs rather than rules.
+
+Paper findings to reproduce: at ACL 200 all three are comparable; at
+1 000/10 000 rules FastClick loses 38 %/84 % and NBA 32 %/73 % of
+their throughput while NFCompass stays nearly flat, with 1.4–9x lower
+average latency and 2.9–4.3x lower latency variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.fastclick import FastClickBaseline
+from repro.baselines.nba import NBABaseline
+from repro.core.compass import NFCompass
+from repro.experiments import common
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.firewall import Firewall
+from repro.nf.ipv4 import IPv4Forwarder
+from repro.nf.nat import NetworkAddressTranslator
+from repro.traffic.acl import generate_acl
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficSpec
+
+ACL_SIZES = (200, 1000, 10000)
+PACKET_SIZES = (64, 128, 1500)
+SYSTEMS = ("fastclick", "nba", "nfcompass")
+
+
+@dataclass
+class Fig17Row:
+    system: str
+    acl_rules: int
+    packet_size: int
+    throughput_gbps: float
+    latency_ms: float
+    latency_std_us: float
+
+
+def _make_sfc(acl_rules: int, matcher_kind: str,
+              tag: str) -> ServiceFunctionChain:
+    rules = generate_acl(acl_rules, seed=acl_rules, deny_fraction=0.0)
+    return ServiceFunctionChain(
+        [
+            Firewall(rules=rules, matcher_kind=matcher_kind,
+                     name=f"fw-{tag}"),
+            IPv4Forwarder(name=f"router-{tag}"),
+            NetworkAddressTranslator(name=f"nat-{tag}"),
+        ],
+        name=f"fw{acl_rules}-router-nat",
+    )
+
+
+def run(quick: bool = True,
+        acl_sizes: Sequence[int] = ACL_SIZES,
+        packet_sizes: Sequence[int] = PACKET_SIZES,
+        batch_size: int = 64) -> List[Fig17Row]:
+    """Measure all systems.
+
+    Latency is compared at a *common* offered load per (ACL, packet
+    size) cell — 80 % of the slowest system's capacity — matching the
+    paper's fixed-offered-load methodology.
+    """
+    platform = common.make_engine().platform
+    engine = common.make_engine(platform)
+    batch_count = 50 if quick else 150
+    rows: List[Fig17Row] = []
+    # The offered load is fixed per packet size at the smallest-ACL
+    # operating point (80 % of the slowest system's ACL-200 capacity)
+    # and kept constant as the ACL grows — exactly the paper's
+    # methodology, where the same traffic drives every ACL size.  A
+    # system whose capacity collapses below the offered load overloads
+    # and its latency explodes (FastClick's "order of magnitude" at
+    # ACL 10000).
+    fixed_load: Dict[int, float] = {}
+    for acl_rules in sorted(acl_sizes):
+        for packet_size in packet_sizes:
+            spec = TrafficSpec(size_law=FixedSize(packet_size),
+                               offered_gbps=40.0)
+            staged = []
+            for system in SYSTEMS:
+                tag = f"{system}-{acl_rules}-{packet_size}"
+                if system == "fastclick":
+                    sfc = _make_sfc(acl_rules, "tree", tag)
+                    deployment = FastClickBaseline(
+                        platform=platform
+                    ).deploy(sfc, spec, batch_size=batch_size)
+                elif system == "nba":
+                    sfc = _make_sfc(acl_rules, "tree", tag)
+                    deployment = NBABaseline(
+                        platform=platform
+                    ).deploy(sfc, spec, batch_size=batch_size)
+                else:
+                    sfc = _make_sfc(acl_rules, "tuple_space", tag)
+                    compass = NFCompass(platform=platform)
+                    plan = compass.deploy(sfc, spec,
+                                          batch_size=batch_size)
+                    deployment = plan.deployment
+                capacity = engine.run(
+                    deployment, common.saturated(spec),
+                    batch_size=batch_size, batch_count=batch_count,
+                ).throughput_gbps
+                staged.append((system, deployment, capacity))
+            if packet_size not in fixed_load:
+                fixed_load[packet_size] = 0.8 * min(
+                    capacity for _s, _d, capacity in staged
+                )
+            shared_load = fixed_load[packet_size]
+            for system, deployment, capacity in staged:
+                latency_report = engine.run(
+                    deployment,
+                    common.at_load(spec, max(0.05, shared_load)),
+                    batch_size=batch_size, batch_count=batch_count,
+                )
+                rows.append(Fig17Row(
+                    system=system,
+                    acl_rules=acl_rules,
+                    packet_size=packet_size,
+                    throughput_gbps=capacity,
+                    latency_ms=latency_report.latency.mean_ms,
+                    latency_std_us=(latency_report.latency.variance
+                                    ** 0.5 * 1e6),
+                ))
+    return rows
+
+
+def throughput_retention(rows: List[Fig17Row],
+                         packet_size: int = 64) -> Dict[str, Dict[int, float]]:
+    """Throughput at each ACL size relative to the 200-rule ACL."""
+    by_system: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        if row.packet_size != packet_size:
+            continue
+        by_system.setdefault(row.system, {})[row.acl_rules] = (
+            row.throughput_gbps
+        )
+    retention: Dict[str, Dict[int, float]] = {}
+    for system, series in by_system.items():
+        base = series.get(min(series), 0.0)
+        retention[system] = {
+            acl: value / max(1e-9, base) for acl, value in series.items()
+        }
+    return retention
+
+
+def latency_advantage(rows: List[Fig17Row]) -> Dict[Tuple[int, int],
+                                                    Dict[str, float]]:
+    """Baseline latency / NFCompass latency per (acl, packet size)."""
+    lookup: Dict[Tuple[str, int, int], Fig17Row] = {
+        (r.system, r.acl_rules, r.packet_size): r for r in rows
+    }
+    advantage: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for (system, acl, size), row in lookup.items():
+        if system == "nfcompass":
+            continue
+        ours = lookup.get(("nfcompass", acl, size))
+        if ours is None or ours.latency_ms <= 0:
+            continue
+        advantage.setdefault((acl, size), {})[system] = (
+            row.latency_ms / ours.latency_ms
+        )
+    return advantage
+
+
+def main(quick: bool = True) -> str:
+    """Render the Fig. 17 table and throughput-retention notes."""
+    rows = run(quick=quick)
+    table = common.format_table(
+        ["system", "ACL", "pkt", "Gbps", "latency ms", "lat std us"],
+        [[r.system, r.acl_rules, r.packet_size, r.throughput_gbps,
+          r.latency_ms, r.latency_std_us] for r in rows],
+        title="Fig. 17 — FW+router+NAT under growing ACLs",
+    )
+    retention = throughput_retention(rows)
+    notes = []
+    for system, series in retention.items():
+        drops = ", ".join(
+            f"ACL{acl}: {1 - fraction:.0%} drop"
+            for acl, fraction in sorted(series.items()) if acl != 200
+        )
+        notes.append(f"{system} (64B): {drops}")
+    notes.append("(paper: FastClick -38 %/-84 %, NBA -32 %/-73 %, "
+                 "NFCompass ~flat; NFCompass latency 1.4-9x lower)")
+    return table + "\n" + "\n".join(notes)
+
+
+if __name__ == "__main__":
+    print(main(quick=False))

@@ -1,0 +1,70 @@
+"""Tables II/III — NF packet actions and parallelization criteria.
+
+These are design artifacts rather than measurements; the harness
+renders them from the live catalog so any code drift from the paper's
+tables is visible (and is locked down by tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.actions import explain, parallelizable
+from repro.experiments import common
+from repro.nf.catalog import NF_CATALOG
+
+TABLE2_ORDER = ("probe", "ids", "firewall", "nat", "lb", "wanopt", "proxy")
+
+
+def table2_rows() -> List[List[str]]:
+    """Table II as rendered from the catalog."""
+    rows = []
+    for nf_type in TABLE2_ORDER:
+        actions = NF_CATALOG[nf_type].actions
+
+        def yn(flag: bool) -> str:
+            return "Y" if flag else "N"
+
+        rows.append([
+            nf_type,
+            f"{yn(actions.reads_header)}/{yn(actions.reads_payload)}",
+            f"{yn(actions.writes_header)}/{yn(actions.writes_payload)}",
+            yn(actions.adds_removes_bits),
+            yn(actions.drops),
+        ])
+    return rows
+
+
+def table3_rows() -> List[List[str]]:
+    """Pairwise Table III verdicts over the Table II NF set."""
+    rows = []
+    for former in TABLE2_ORDER:
+        for later in TABLE2_ORDER:
+            verdict = parallelizable(NF_CATALOG[former].actions,
+                                     NF_CATALOG[later].actions)
+            rows.append([
+                former, later,
+                "parallel" if verdict else "sequential",
+                explain(NF_CATALOG[former].actions,
+                        NF_CATALOG[later].actions),
+            ])
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Render Tables II and III."""
+    table2 = common.format_table(
+        ["NF", "HDR/PL Rd", "HDR/PL Wr", "Add/Rm", "Drop"],
+        table2_rows(),
+        title="Table II — NF actions on packet",
+    )
+    table3 = common.format_table(
+        ["former", "later", "verdict", "why"],
+        table3_rows(),
+        title="Table III — pairwise parallelization verdicts",
+    )
+    return table2 + "\n\n" + table3
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,55 @@
+"""CPU cache-pressure model.
+
+The paper observes (Section III.C) that "the bigger batch size may
+lead to higher cache miss rate for CPU" — concretely, DPI's CPU
+throughput *drops* once batches exceed 256 packets — and that co-run
+slowdowns on CPU are cache-driven.
+
+We model this with a working-set penalty: an element processing a
+batch touches ``batch_size * bytes_per_packet`` of packet data plus
+its own table footprint; as the working set spills L2 and then L3,
+cycles per packet are multiplied by a smooth penalty factor.
+"""
+
+from __future__ import annotations
+
+from repro.hw.platform import CPUSpec
+
+#: Extra cycle multiplier when the working set fully spills L2 into L3.
+L2_SPILL_PENALTY = 0.6
+#: Extra multiplier when the working set spills L3 into DRAM.
+L3_SPILL_PENALTY = 1.8
+
+
+def _spill_fraction(working_set: float, capacity: float, span: float) -> float:
+    """How far past ``capacity`` the working set has grown, in [0, 1].
+
+    Ramps linearly across ``span`` bytes past the capacity, so the
+    penalty turns on smoothly instead of as a step.
+    """
+    if working_set <= capacity:
+        return 0.0
+    return min(1.0, (working_set - capacity) / span)
+
+
+def cache_penalty_factor(working_set_bytes: float, cpu: CPUSpec,
+                         co_run_pressure_bytes: float = 0.0) -> float:
+    """Multiplier (>= 1) on per-packet cycles for a given working set.
+
+    ``co_run_pressure_bytes`` is the L3 footprint contributed by
+    co-running NFs on the same socket (the shared-L3 contention path
+    of the interference model).
+    """
+    if working_set_bytes < 0:
+        raise ValueError("working set must be non-negative")
+    factor = 1.0
+    factor += L2_SPILL_PENALTY * _spill_fraction(
+        working_set_bytes, cpu.l2_bytes, span=float(cpu.l2_bytes) * 4
+    )
+    effective_l3 = max(
+        cpu.l2_bytes, cpu.l3_bytes - co_run_pressure_bytes
+    )
+    factor += L3_SPILL_PENALTY * _spill_fraction(
+        working_set_bytes, effective_l3, span=float(cpu.l3_bytes)
+    )
+    return factor

@@ -1,0 +1,39 @@
+"""GPU timing decomposition.
+
+The offloading path of Fig. 4: pre-process, host-to-device copy,
+kernel execution, device-to-host copy, post-process.  The kernel
+launch/teardown cost (or the persistent-kernel dispatch cost) is
+accounted separately because it is the overhead NFCompass's persistent
+kernel design targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuTiming:
+    """Per-batch GPU time breakdown (seconds)."""
+
+    launch: float
+    h2d: float
+    kernel: float
+    d2h: float
+
+    @property
+    def total(self) -> float:
+        return self.launch + self.h2d + self.kernel + self.d2h
+
+    @property
+    def transfer(self) -> float:
+        return self.h2d + self.d2h
+
+    def scaled(self, factor: float) -> "GpuTiming":
+        """Uniformly scale every component (used for contention)."""
+        return GpuTiming(
+            launch=self.launch * factor,
+            h2d=self.h2d * factor,
+            kernel=self.kernel * factor,
+            d2h=self.d2h * factor,
+        )

@@ -1,0 +1,165 @@
+"""Flows and stateful stream handling.
+
+Stateful NFs (IDS, traffic classification) must see the packets of one
+connection in order.  The paper notes that guaranteeing this on an
+accelerator means buffering out-of-order completions, which costs
+memory and latency; :class:`StreamReassembler` implements that
+buffering so the overhead can be measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.net.packet import Packet
+
+
+class FiveTuple(NamedTuple):
+    """Canonical connection key: (src, dst, proto, sport, dport)."""
+
+    src: object
+    dst: object
+    proto: int
+    src_port: int
+    dst_port: int
+
+    @classmethod
+    def of(cls, packet: Packet) -> "FiveTuple":
+        return cls(*packet.five_tuple())
+
+    def reversed(self) -> "FiveTuple":
+        """The key of the reverse direction of the same connection."""
+        return FiveTuple(self.dst, self.src, self.proto,
+                         self.dst_port, self.src_port)
+
+
+@dataclass
+class FlowState:
+    """Mutable per-flow record stored in a :class:`FlowTable`."""
+
+    key: FiveTuple
+    packets_seen: int = 0
+    bytes_seen: int = 0
+    last_seen: float = 0.0
+    user_state: Dict[str, object] = field(default_factory=dict)
+
+
+class FlowTable:
+    """An LRU-evicting flow table keyed by five-tuple.
+
+    ``capacity`` bounds memory as a real middlebox flow table would;
+    the eviction count is exposed because table churn is part of the
+    stateful-processing overhead story.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("flow table capacity must be positive")
+        self.capacity = capacity
+        self._table: "OrderedDict[FiveTuple, FlowState]" = OrderedDict()
+        self.evictions = 0
+        self.lookups = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: FiveTuple) -> bool:
+        return key in self._table
+
+    def lookup(self, key: FiveTuple) -> Optional[FlowState]:
+        """Return the flow state for ``key``, refreshing its LRU position."""
+        self.lookups += 1
+        state = self._table.get(key)
+        if state is not None:
+            self._table.move_to_end(key)
+        return state
+
+    def observe(self, packet: Packet) -> FlowState:
+        """Record ``packet`` against its flow, creating the flow if new."""
+        key = FiveTuple.of(packet)
+        state = self.lookup(key)
+        if state is None:
+            state = FlowState(key=key)
+            self._table[key] = state
+            self.inserts += 1
+            if len(self._table) > self.capacity:
+                self._table.popitem(last=False)
+                self.evictions += 1
+        state.packets_seen += 1
+        state.bytes_seen += packet.wire_len
+        state.last_seen = packet.arrival_time
+        return state
+
+    def remove(self, key: FiveTuple) -> None:
+        self._table.pop(key, None)
+
+    def flows(self) -> List[FlowState]:
+        return list(self._table.values())
+
+
+class StreamReassembler:
+    """Per-flow in-order release buffer.
+
+    Packets may complete out of order (e.g. two GPU sub-batches finish
+    at different times).  ``push`` buffers a packet until every earlier
+    packet of the same flow has been released, then releases the
+    longest in-order run.  ``buffered_bytes`` and ``max_buffered_bytes``
+    quantify the memory cost the paper attributes to stateful
+    processing.
+    """
+
+    def __init__(self, initial_expected: Optional[int] = None):
+        """``initial_expected``: the seqno every new flow starts at.
+
+        When None (default), a flow's stream starts at the first seqno
+        seen for it — appropriate when upstream guarantees the first
+        packet arrives first (e.g. per-batch completion queues).
+        """
+        self._initial_expected = initial_expected
+        self._expected: Dict[FiveTuple, int] = {}
+        self._pending: Dict[FiveTuple, Dict[int, Packet]] = {}
+        self.buffered_bytes = 0
+        self.max_buffered_bytes = 0
+        self.released = 0
+
+    def push(self, packet: Packet) -> List[Packet]:
+        """Offer a packet; return the packets now releasable, in order."""
+        key = FiveTuple.of(packet)
+        default_start = (packet.seqno if self._initial_expected is None
+                         else self._initial_expected)
+        expected = self._expected.setdefault(key, default_start)
+        pending = self._pending.setdefault(key, {})
+        if packet.seqno < expected:
+            # Duplicate or already-released packet: pass through.
+            return [packet]
+        pending[packet.seqno] = packet
+        self.buffered_bytes += packet.wire_len
+        self.max_buffered_bytes = max(self.max_buffered_bytes,
+                                      self.buffered_bytes)
+        released: List[Packet] = []
+        while expected in pending:
+            ready = pending.pop(expected)
+            self.buffered_bytes -= ready.wire_len
+            released.append(ready)
+            expected += 1
+        self._expected[key] = expected
+        self.released += len(released)
+        return released
+
+    def pending_count(self) -> int:
+        """Number of packets currently held back."""
+        return sum(len(p) for p in self._pending.values())
+
+    def flush(self) -> List[Packet]:
+        """Release everything still buffered, in per-flow seqno order."""
+        leftovers: List[Packet] = []
+        for pending in self._pending.values():
+            for seqno in sorted(pending):
+                leftovers.append(pending[seqno])
+        self._pending.clear()
+        self._expected.clear()
+        self.buffered_bytes = 0
+        return leftovers

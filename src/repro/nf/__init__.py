@@ -1,0 +1,45 @@
+"""Network function library.
+
+Fully functional Python implementations of the NFs the paper
+characterizes and evaluates (Sections III and V): IPv4/IPv6
+forwarders, IPsec gateway, DPI/IDS, firewall, NAT, load balancer,
+plus the Table II set (probe, proxy, WAN optimizer).  Each NF is an
+:class:`~repro.nf.base.NetworkFunction` that builds a Click-style
+element graph, so NFCompass's graph rewrites operate on real
+processing pipelines.
+"""
+
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.nf.ipv4 import IPv4Forwarder, LPMTrie
+from repro.nf.ipv6 import IPv6Forwarder, HashedPrefixTable
+from repro.nf.ipsec import IPsecGateway, aes128_ctr, hmac_sha1
+from repro.nf.dpi import DeepPacketInspector, IntrusionDetectionSystem, AhoCorasick
+from repro.nf.firewall import Firewall
+from repro.nf.nat import NetworkAddressTranslator
+from repro.nf.loadbalancer import LoadBalancer
+from repro.nf.misc import Probe, Proxy, WANOptimizer
+from repro.nf.catalog import NF_CATALOG, make_nf, action_profile_of
+
+__all__ = [
+    "NetworkFunction",
+    "ServiceFunctionChain",
+    "IPv4Forwarder",
+    "LPMTrie",
+    "IPv6Forwarder",
+    "HashedPrefixTable",
+    "IPsecGateway",
+    "aes128_ctr",
+    "hmac_sha1",
+    "DeepPacketInspector",
+    "IntrusionDetectionSystem",
+    "AhoCorasick",
+    "Firewall",
+    "NetworkAddressTranslator",
+    "LoadBalancer",
+    "Probe",
+    "Proxy",
+    "WANOptimizer",
+    "NF_CATALOG",
+    "make_nf",
+    "action_profile_of",
+]

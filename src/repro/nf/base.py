@@ -1,0 +1,149 @@
+"""Network function and service function chain abstractions.
+
+A :class:`NetworkFunction` packages an element graph with Table II
+metadata (which packet regions it reads/writes, whether it drops).  A
+:class:`ServiceFunctionChain` is an ordered list of NFs — the input to
+NFCompass's orchestrator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.elements.element import ActionProfile
+from repro.elements.graph import ElementGraph
+from repro.elements.standard import FromDevice, ToDevice
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+
+_nf_ids = itertools.count()
+
+
+class NetworkFunction:
+    """Base class for virtualized network functions.
+
+    Subclasses set ``nf_type`` (the catalog key), ``actions`` (the
+    Table II row), and implement :meth:`build_core` returning the
+    element graph of the NF's processing logic *without* I/O
+    endpoints; the base class wraps it with FromDevice/ToDevice so
+    the synthesizer can observe (and de-duplicate) network I/O.
+    """
+
+    nf_type: str = "abstract"
+    actions: ActionProfile = ActionProfile()
+
+    def __init__(self, name: Optional[str] = None,
+                 with_io: bool = True):
+        self.uid = next(_nf_ids)
+        self.name = name or f"{self.nf_type}#{self.uid}"
+        self.with_io = with_io
+        self._graph: Optional[ElementGraph] = None
+
+    def build_core(self) -> ElementGraph:
+        """Return the graph of processing elements (no I/O endpoints)."""
+        raise NotImplementedError
+
+    @property
+    def graph(self) -> ElementGraph:
+        """The NF's full element graph (lazily built, cached)."""
+        if self._graph is None:
+            core = self.build_core()
+            if self.with_io:
+                core = self._wrap_io(core)
+            core.name = self.name
+            core.validate()
+            self._graph = core
+        return self._graph
+
+    def _wrap_io(self, core: ElementGraph) -> ElementGraph:
+        entry_nodes = core.sources()
+        exit_nodes = core.sinks()
+        rx = FromDevice(device="rx", name=f"{self.name}/rx")
+        tx = ToDevice(device="tx", name=f"{self.name}/tx")
+        rx_id = core.add(rx)
+        tx_id = core.add(tx)
+        for node in entry_nodes:
+            core.connect(rx_id, node)
+        for node in exit_nodes:
+            element = core.element(node)
+            for port in range(element.ports.outputs):
+                core.connect(node, tx_id, src_port=port)
+        return core
+
+    # ------------------------------------------------------------------
+    # Functional execution helpers
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: PacketBatch) -> PacketBatch:
+        """Run a batch through the NF; return surviving packets in order."""
+        sink_batches = self.graph.run_batch(batch)
+        merged = PacketBatch.merge(sink_batches.values())
+        merged.packets = [p for p in merged.packets if not p.dropped]
+        return merged
+
+    def process_packets(self, packets: Iterable[Packet]) -> List[Packet]:
+        """Run loose packets through the NF."""
+        return self.process_batch(PacketBatch(list(packets))).packets
+
+    def reset(self) -> None:
+        """Discard the cached graph (and therefore all element state)."""
+        self._graph = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NF {self.name} ({self.nf_type})>"
+
+
+class ServiceFunctionChain:
+    """An ordered service function chain (the unit NFCompass deploys)."""
+
+    def __init__(self, nfs: Sequence[NetworkFunction],
+                 name: Optional[str] = None):
+        if not nfs:
+            raise ValueError("an SFC needs at least one NF")
+        self.nfs: List[NetworkFunction] = list(nfs)
+        self.name = name or "->".join(nf.nf_type for nf in nfs)
+
+    def __len__(self) -> int:
+        return len(self.nfs)
+
+    def __iter__(self):
+        return iter(self.nfs)
+
+    def __getitem__(self, index: int) -> NetworkFunction:
+        return self.nfs[index]
+
+    @property
+    def length(self) -> int:
+        """Chain length in NFs (the paper's *effective length* before
+        re-organization)."""
+        return len(self.nfs)
+
+    def concatenated_graph(self) -> ElementGraph:
+        """The naive processing tree: all NF graphs back to back."""
+        return ElementGraph.concatenate(
+            (nf.graph for nf in self.nfs), name=self.name
+        )
+
+    def process_batch(self, batch: PacketBatch) -> PacketBatch:
+        """Sequential reference semantics: run NFs one after another.
+
+        This is the ground truth the orchestrator's parallelized
+        deployment must reproduce (for independent NFs).
+        """
+        current = batch
+        for nf in self.nfs:
+            current = nf.process_batch(current)
+        return current
+
+    def process_packets(self, packets: Iterable[Packet]) -> List[Packet]:
+        return self.process_batch(PacketBatch(list(packets))).packets
+
+    def reset(self) -> None:
+        for nf in self.nfs:
+            nf.reset()
+
+    def describe(self) -> str:
+        return " -> ".join(nf.name for nf in self.nfs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SFC {self.name} len={len(self.nfs)}>"

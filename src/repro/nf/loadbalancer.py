@@ -1,0 +1,129 @@
+"""L4 load balancer.
+
+Table II lists the LB as header-read-only (no writes, no drops): it
+*selects* a backend for each flow — consistent hashing here — and
+records the decision as an annotation, in the style of an ECMP
+selector whose rewrite happens downstream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.elements.element import ActionProfile, TrafficClass
+from repro.elements.graph import ElementGraph
+from repro.elements.offload import OffloadableElement, OffloadTraits
+from repro.elements.standard import CheckIPHeader
+from repro.net.batch import PacketBatch
+from repro.net.flow import FiveTuple
+from repro.nf.base import NetworkFunction
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, backends: Sequence[str], replicas: int = 64):
+        if not backends:
+            raise ValueError("need at least one backend")
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.backends = list(backends)
+        self.replicas = replicas
+        self._ring: List[int] = []
+        self._owners: Dict[int, str] = {}
+        for backend in self.backends:
+            for replica in range(replicas):
+                point = self._hash(f"{backend}#{replica}")
+                self._ring.append(point)
+                self._owners[point] = backend
+        self._ring.sort()
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(text.encode()).digest()[:8], "big"
+        )
+
+    def pick(self, key: str) -> str:
+        point = self._hash(key)
+        index = bisect_right(self._ring, point)
+        if index == len(self._ring):
+            index = 0
+        return self._owners[self._ring[index]]
+
+    def remove(self, backend: str) -> None:
+        """Drain a backend; only its keys move (consistency property)."""
+        if backend not in self.backends:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backends.remove(backend)
+        points = [p for p, owner in self._owners.items() if owner == backend]
+        for point in points:
+            del self._owners[point]
+        point_set = set(points)
+        self._ring = [p for p in self._ring if p not in point_set]
+
+
+class BackendSelect(OffloadableElement):
+    """Flow-sticky backend selection element."""
+
+    traffic_class = TrafficClass.OBSERVER
+    idempotent = True
+    actions = ActionProfile(reads_header=True)
+    traits = OffloadTraits(
+        h2d_bytes_per_packet=16.0,
+        d2h_bytes_per_packet=2.0,
+        relative=False,
+        divergent=False,
+        compute_intensity=0.3,
+    )
+
+    def __init__(self, ring: ConsistentHashRing,
+                 pool_id: str = "pool0",
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        self.ring = ring
+        self.pool_id = pool_id
+        self.assignments: Dict[str, int] = {b: 0 for b in ring.backends}
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        for packet in batch.live_packets:
+            key = str(FiveTuple.of(packet))
+            backend = self.ring.pick(key)
+            packet.annotations["lb_backend"] = backend
+            self.assignments[backend] = self.assignments.get(backend, 0) + 1
+        return {0: batch}
+
+    def signature(self) -> Hashable:
+        return ("BackendSelect", self.pool_id)
+
+    def cost_hints(self) -> Dict[str, float]:
+        return {"backends": float(len(self.ring.backends))}
+
+
+class LoadBalancer(NetworkFunction):
+    """L4 load balancer NF (Table II: HDR read only)."""
+
+    nf_type = "lb"
+    actions = ActionProfile(reads_header=True)
+
+    def __init__(self, backends: Optional[Sequence[str]] = None,
+                 name: Optional[str] = None, **kwargs):
+        super().__init__(name=name, **kwargs)
+        self.backends = list(backends) if backends else [
+            f"10.1.0.{i}" for i in range(1, 9)
+        ]
+
+    def build_core(self) -> ElementGraph:
+        graph = ElementGraph(name=f"{self.name}/core")
+        graph.chain(
+            CheckIPHeader(name=f"{self.name}/check"),
+            BackendSelect(ConsistentHashRing(self.backends),
+                          pool_id=f"{self.name}/pool",
+                          name=f"{self.name}/select"),
+        )
+        return graph
+
+
+__all__ = ["ConsistentHashRing", "BackendSelect", "LoadBalancer"]

@@ -1,0 +1,183 @@
+"""The remaining Table II NFs: probe, proxy, and WAN optimizer."""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from typing import Dict, Hashable, List, Optional
+
+from repro.elements.element import ActionProfile, TrafficClass
+from repro.elements.graph import ElementGraph
+from repro.elements.offload import OffloadableElement, OffloadTraits
+from repro.elements.standard import CheckIPHeader, Counter
+from repro.net.batch import PacketBatch
+from repro.nf.base import NetworkFunction
+
+
+class Probe(NetworkFunction):
+    """Passive measurement probe (Table II: HDR read only)."""
+
+    nf_type = "probe"
+    actions = ActionProfile(reads_header=True)
+
+    def build_core(self) -> ElementGraph:
+        graph = ElementGraph(name=f"{self.name}/core")
+        graph.chain(
+            CheckIPHeader(name=f"{self.name}/check"),
+            Counter(name=f"{self.name}/counter"),
+        )
+        return graph
+
+
+class ContentRewrite(OffloadableElement):
+    """Proxy's payload rewriter (e.g. header injection / URL rewrite).
+
+    Table II: proxy reads header+payload and writes payload only.
+    The rewrite here replaces a marker token so tests can observe it.
+    """
+
+    traffic_class = TrafficClass.MODIFIER
+    idempotent = True
+    actions = ActionProfile(reads_header=True, reads_payload=True,
+                            writes_payload=True)
+    traits = OffloadTraits(
+        h2d_bytes_per_packet=1.0,
+        d2h_bytes_per_packet=1.0,
+        relative=True,
+        divergent=True,
+        compute_intensity=1.0,
+    )
+
+    def __init__(self, needle: bytes = b"X-Forwarded-For: unknown",
+                 replacement: bytes = b"X-Forwarded-For: proxied",
+                 name: Optional[str] = None):
+        if len(needle) != len(replacement):
+            raise ValueError(
+                "proxy rewrite must preserve payload length "
+                "(Table II: proxy does not add/remove bits)"
+            )
+        super().__init__(name=name)
+        self.needle = needle
+        self.replacement = replacement
+        self.rewrites = 0
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        for packet in batch.live_packets:
+            if self.needle in packet.payload:
+                packet.payload = packet.payload.replace(
+                    self.needle, self.replacement
+                )
+                self.rewrites += 1
+        return {0: batch}
+
+    def signature(self) -> Hashable:
+        return ("ContentRewrite", self.needle, self.replacement)
+
+
+class Proxy(NetworkFunction):
+    """Application proxy NF (Table II: HDR/PL read, PL write)."""
+
+    nf_type = "proxy"
+    actions = ActionProfile(reads_header=True, reads_payload=True,
+                            writes_payload=True)
+
+    def build_core(self) -> ElementGraph:
+        graph = ElementGraph(name=f"{self.name}/core")
+        graph.chain(
+            CheckIPHeader(name=f"{self.name}/check"),
+            ContentRewrite(name=f"{self.name}/rewrite"),
+        )
+        return graph
+
+
+class DedupCompress(OffloadableElement):
+    """WAN optimizer's dedup + compression element.
+
+    Chunk-hash deduplication (repeated payloads are replaced by an
+    8-byte reference) followed by zlib compression.  Size-changing and
+    may drop (suppress) fully redundant packets — the most restrictive
+    Table II profile.
+    """
+
+    traffic_class = TrafficClass.MODIFIER
+    actions = ActionProfile(reads_header=True, reads_payload=True,
+                            writes_header=True, writes_payload=True,
+                            adds_removes_bits=True, drops=True)
+    is_stateful = True
+    offloadable = False
+    traits = OffloadTraits(
+        h2d_bytes_per_packet=1.0,
+        d2h_bytes_per_packet=0.5,
+        relative=True,
+        divergent=True,
+        compute_intensity=3.0,
+    )
+
+    _MAGIC = b"\x00DDUP"
+
+    def __init__(self, suppress_duplicates: bool = False,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        self._seen: Dict[bytes, int] = {}
+        self._next_ref = 1
+        self.suppress_duplicates = suppress_duplicates
+        self.dedup_hits = 0
+        self.bytes_saved = 0
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        survivors = []
+        for packet in batch.live_packets:
+            payload = packet.payload
+            if not payload:
+                survivors.append(packet)
+                continue
+            digest = hashlib.sha1(payload).digest()
+            ref = self._seen.get(digest)
+            if ref is not None:
+                self.dedup_hits += 1
+                if self.suppress_duplicates:
+                    packet.mark_dropped("WAN dedup")
+                    self.bytes_saved += len(payload)
+                    continue
+                token = self._MAGIC + ref.to_bytes(8, "big")
+                self.bytes_saved += max(0, len(payload) - len(token))
+                packet.payload = token
+            else:
+                self._seen[digest] = self._next_ref
+                self._next_ref += 1
+                compressed = zlib.compress(payload, level=1)
+                if len(compressed) < len(payload):
+                    self.bytes_saved += len(payload) - len(compressed)
+                    packet.payload = b"\x00ZLIB" + compressed
+            survivors.append(packet)
+        return {0: PacketBatch(survivors, creation_time=batch.creation_time)}
+
+    def signature(self) -> Hashable:
+        return ("unique", self.uid)  # stateful: never deduplicate
+
+
+class WANOptimizer(NetworkFunction):
+    """WAN optimizer NF (Table II: everything, incl. add/rm bits, drop)."""
+
+    nf_type = "wanopt"
+    actions = ActionProfile(reads_header=True, reads_payload=True,
+                            writes_header=True, writes_payload=True,
+                            adds_removes_bits=True, drops=True)
+
+    def __init__(self, suppress_duplicates: bool = False,
+                 name: Optional[str] = None, **kwargs):
+        super().__init__(name=name, **kwargs)
+        self.suppress_duplicates = suppress_duplicates
+
+    def build_core(self) -> ElementGraph:
+        graph = ElementGraph(name=f"{self.name}/core")
+        graph.chain(
+            CheckIPHeader(name=f"{self.name}/check"),
+            DedupCompress(self.suppress_duplicates,
+                          name=f"{self.name}/dedup"),
+        )
+        return graph
+
+
+__all__ = ["Probe", "ContentRewrite", "Proxy", "DedupCompress",
+           "WANOptimizer"]

@@ -1,0 +1,123 @@
+"""Network address translation.
+
+A stateful source/destination NAT: outbound flows get a translated
+(public address, port) pair from a pool; reply traffic is matched in
+the reverse table and rewritten back.  Table II: header read+write,
+no payload access, no drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.elements.element import ActionProfile, TrafficClass
+from repro.elements.graph import ElementGraph
+from repro.elements.offload import OffloadableElement, OffloadTraits
+from repro.elements.standard import CheckIPHeader
+from repro.net.batch import PacketBatch
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+
+
+class NatRewrite(OffloadableElement):
+    """The NAT's stateful rewrite element.
+
+    Stateful elements are pinned to the CPU by the task allocator (the
+    paper's stateful-processing overhead discussion, Section III.B.1b);
+    the element still subclasses OffloadableElement so the expansion
+    logic can uniformly inspect traits, but declares itself
+    non-offloadable.
+    """
+
+    traffic_class = TrafficClass.MODIFIER
+    actions = ActionProfile(reads_header=True, writes_header=True)
+    is_stateful = True
+    offloadable = False
+    traits = OffloadTraits(
+        h2d_bytes_per_packet=16.0,
+        d2h_bytes_per_packet=16.0,
+        relative=False,
+        divergent=True,
+        compute_intensity=0.6,
+    )
+
+    def __init__(self, public_ip: str = "203.0.113.1",
+                 port_base: int = 20000,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        self.public_ip = public_ip
+        self.port_base = port_base
+        self._next_port = port_base
+        # forward: original five-tuple -> (public ip, public port)
+        self._forward: Dict[FiveTuple, Tuple[str, int]] = {}
+        # reverse: (public ip, public port) -> original five-tuple
+        self._reverse: Dict[Tuple[str, int], FiveTuple] = {}
+
+    def _allocate(self, key: FiveTuple) -> Tuple[str, int]:
+        binding = self._forward.get(key)
+        if binding is None:
+            if self._next_port > 65535:
+                raise RuntimeError("NAT port pool exhausted")
+            binding = (self.public_ip, self._next_port)
+            self._next_port += 1
+            self._forward[key] = binding
+            self._reverse[binding] = key
+        return binding
+
+    @property
+    def binding_count(self) -> int:
+        return len(self._forward)
+
+    def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
+        for packet in batch.live_packets:
+            if not packet.is_ipv4 or packet.l4 is None:
+                continue
+            if packet.ip.dst == self.public_ip:
+                self._translate_inbound(packet)
+            else:
+                self._translate_outbound(packet)
+        return {0: batch}
+
+    def _translate_outbound(self, packet: Packet) -> None:
+        key = FiveTuple.of(packet)
+        public_ip, public_port = self._allocate(key)
+        packet.ip.src = public_ip
+        packet.l4.src_port = public_port
+        packet.annotations["nat"] = "snat"
+
+    def _translate_inbound(self, packet: Packet) -> None:
+        binding = (packet.ip.dst, packet.l4.dst_port)
+        original = self._reverse.get(binding)
+        if original is None:
+            packet.annotations["nat"] = "no-binding"
+            return
+        packet.ip.dst = original.src
+        packet.l4.dst_port = original.src_port
+        packet.annotations["nat"] = "dnat"
+
+    def signature(self) -> Hashable:
+        return ("unique", self.uid)  # stateful: never deduplicate
+
+
+class NetworkAddressTranslator(NetworkFunction):
+    """NAT NF (Table II: HDR read Y, HDR write Y)."""
+
+    nf_type = "nat"
+    actions = ActionProfile(reads_header=True, writes_header=True)
+
+    def __init__(self, public_ip: str = "203.0.113.1",
+                 name: Optional[str] = None, **kwargs):
+        super().__init__(name=name, **kwargs)
+        self.public_ip = public_ip
+
+    def build_core(self) -> ElementGraph:
+        graph = ElementGraph(name=f"{self.name}/core")
+        graph.chain(
+            CheckIPHeader(name=f"{self.name}/check"),
+            NatRewrite(self.public_ip, name=f"{self.name}/rewrite"),
+        )
+        return graph
+
+
+__all__ = ["NatRewrite", "NetworkAddressTranslator"]

@@ -1,0 +1,174 @@
+"""Deployments: element graphs mapped onto processors.
+
+A :class:`Placement` pins one element to a CPU core, a GPU, or a
+ratio-split of both (the paper's partial offloading).  A
+:class:`Mapping` assigns every node of a graph; a :class:`Deployment`
+bundles graph + mapping + execution options and is what the
+:class:`~repro.sim.engine.SimulationEngine` runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.elements.graph import ElementGraph
+from repro.elements.offload import OffloadableElement
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one element runs.
+
+    ``offload_ratio`` is the fraction of each batch processed on
+    ``gpu_processor``; the remainder runs on ``cpu_processor``.  A
+    ratio of 0 needs no GPU; a ratio of 1 needs no CPU side (but a CPU
+    core still hosts the completion handling).
+    """
+
+    cpu_processor: Optional[str] = "cpu0"
+    gpu_processor: Optional[str] = None
+    offload_ratio: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.offload_ratio <= 1.0:
+            raise ValueError("offload ratio must be in [0, 1]")
+        if self.offload_ratio > 0.0 and self.gpu_processor is None:
+            raise ValueError("offloaded placement needs a gpu_processor")
+        if self.offload_ratio < 1.0 and self.cpu_processor is None:
+            raise ValueError("CPU-share placement needs a cpu_processor")
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self.offload_ratio > 0.0
+
+    @property
+    def gpu_only(self) -> bool:
+        return self.offload_ratio >= 1.0
+
+
+class Mapping:
+    """Node-id -> Placement assignment for one graph."""
+
+    def __init__(self, placements: Optional[Dict[str, Placement]] = None):
+        self._placements: Dict[str, Placement] = dict(placements or {})
+
+    def __getitem__(self, node_id: str) -> Placement:
+        return self._placements[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._placements
+
+    def get(self, node_id: str,
+            default: Optional[Placement] = None) -> Optional[Placement]:
+        return self._placements.get(node_id, default)
+
+    def set(self, node_id: str, placement: Placement) -> None:
+        self._placements[node_id] = placement
+
+    def items(self):
+        return self._placements.items()
+
+    def processors_used(self) -> List[str]:
+        used = set()
+        for placement in self._placements.values():
+            if placement.cpu_processor and placement.offload_ratio < 1.0:
+                used.add(placement.cpu_processor)
+            if placement.gpu_processor and placement.offload_ratio > 0.0:
+                used.add(placement.gpu_processor)
+        return sorted(used)
+
+    def validate_against(self, graph: ElementGraph) -> None:
+        missing = [n for n in graph.nodes if n not in self._placements]
+        if missing:
+            raise ValueError(f"mapping misses nodes: {missing}")
+        for node_id, placement in self._placements.items():
+            if node_id not in graph:
+                raise ValueError(f"mapping covers unknown node {node_id!r}")
+            element = graph.element(node_id)
+            if placement.uses_gpu and not isinstance(element,
+                                                     OffloadableElement):
+                raise ValueError(
+                    f"{node_id} ({element.kind}) is not offloadable"
+                )
+            if placement.uses_gpu and not element.offloadable:
+                raise ValueError(
+                    f"{node_id} ({element.kind}) declares itself "
+                    "non-offloadable (stateful)"
+                )
+
+    # ------------------------------------------------------------------
+    # Canned mapping policies
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_cpu(cls, graph: ElementGraph,
+                cores: Iterable[str] = ("cpu0",)) -> "Mapping":
+        """Round-robin elements over CPU cores, no offloading."""
+        cores = list(cores)
+        rr = itertools.cycle(cores)
+        return cls({
+            node: Placement(cpu_processor=next(rr))
+            for node in graph.topological_order()
+        })
+
+    @classmethod
+    def fixed_ratio(cls, graph: ElementGraph, ratio: float,
+                    cores: Iterable[str] = ("cpu0",),
+                    gpus: Iterable[str] = ("gpu0",)) -> "Mapping":
+        """Offload every offloadable element at one global ratio.
+
+        The one-size-fits-all policy the paper's characterization warns
+        about; ``ratio=1.0`` is the GPU-only baseline.
+        """
+        cores = list(cores)
+        gpus = list(gpus)
+        rr_core = itertools.cycle(cores)
+        rr_gpu = itertools.cycle(gpus)
+        placements = {}
+        for node in graph.topological_order():
+            element = graph.element(node)
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable and ratio > 0.0):
+                placements[node] = Placement(
+                    cpu_processor=next(rr_core),
+                    gpu_processor=next(rr_gpu),
+                    offload_ratio=ratio,
+                )
+            else:
+                placements[node] = Placement(cpu_processor=next(rr_core))
+        return cls(placements)
+
+    @classmethod
+    def all_gpu(cls, graph: ElementGraph,
+                cores: Iterable[str] = ("cpu0",),
+                gpus: Iterable[str] = ("gpu0",)) -> "Mapping":
+        """Offload every offloadable element fully."""
+        return cls.fixed_ratio(graph, 1.0, cores=cores, gpus=gpus)
+
+
+@dataclass
+class Deployment:
+    """A runnable unit: graph + mapping + execution options."""
+
+    graph: ElementGraph
+    mapping: Mapping
+    #: Whether the GPU code uses NFCompass's persistent-kernel design
+    #: (cheap dispatch) or per-batch kernel launch/teardown.
+    persistent_kernel: bool = False
+    #: Whether stateful in-order release buffering is required
+    #: (charged per batch at offloaded elements).
+    stateful_reassembly: bool = False
+    name: str = "deployment"
+
+    def validate(self) -> None:
+        self.graph.validate()
+        self.mapping.validate_against(self.graph)
+
+
+def spread_mapping(graph: ElementGraph, platform: PlatformSpec,
+                   max_cores: Optional[int] = None) -> Mapping:
+    """All-CPU mapping spread over the platform's cores."""
+    cores = platform.cpu_processor_ids(max_cores)
+    return Mapping.all_cpu(graph, cores=cores)

@@ -1,0 +1,169 @@
+"""Simulation result reporting.
+
+:class:`ThroughputLatencyReport` carries the quantities the paper's
+figures plot — throughput in Gbps/Mpps, latency statistics (mean,
+percentiles, variance), drop counts — plus the overhead breakdown
+(Fig. 5's "overhead fractions") and per-processor utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(index))
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = index - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over per-batch latencies (seconds)."""
+
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+    variance: float = 0.0
+    samples: int = 0
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "LatencyStats":
+        if not samples:
+            return cls()
+        ordered = sorted(samples)
+        mean = sum(ordered) / len(ordered)
+        variance = sum((s - mean) ** 2 for s in ordered) / len(ordered)
+        return cls(
+            mean=mean,
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            max=ordered[-1],
+            variance=variance,
+            samples=len(ordered),
+        )
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean * 1e6
+
+
+@dataclass
+class OverheadBreakdown:
+    """Accumulated time per overhead category (seconds of busy time)."""
+
+    cpu_compute: float = 0.0
+    gpu_kernel: float = 0.0
+    kernel_launch: float = 0.0
+    pcie_transfer: float = 0.0
+    batch_split: float = 0.0
+    batch_merge: float = 0.0
+    duplication: float = 0.0
+    xor_merge: float = 0.0
+    reassembly: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.cpu_compute + self.gpu_kernel + self.kernel_launch
+                + self.pcie_transfer + self.batch_split + self.batch_merge
+                + self.duplication + self.xor_merge + self.reassembly)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each category as a fraction of total busy time."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {
+            "cpu_compute": self.cpu_compute / total,
+            "gpu_kernel": self.gpu_kernel / total,
+            "kernel_launch": self.kernel_launch / total,
+            "pcie_transfer": self.pcie_transfer / total,
+            "batch_split": self.batch_split / total,
+            "batch_merge": self.batch_merge / total,
+            "duplication": self.duplication / total,
+            "xor_merge": self.xor_merge / total,
+            "reassembly": self.reassembly / total,
+        }
+
+    @property
+    def reorganization_fraction(self) -> float:
+        """The paper's aggregated packet re-organization share."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return (self.batch_split + self.batch_merge + self.duplication
+                + self.xor_merge + self.reassembly) / total
+
+    @property
+    def offloading_fraction(self) -> float:
+        """The paper's aggregated offloading-overhead share."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return (self.kernel_launch + self.pcie_transfer) / total
+
+
+@dataclass
+class ThroughputLatencyReport:
+    """The result of one simulation run."""
+
+    name: str
+    offered_gbps: float
+    delivered_packets: float
+    delivered_bytes: float
+    dropped_packets: float
+    makespan_seconds: float
+    latency: LatencyStats
+    overheads: OverheadBreakdown = field(default_factory=OverheadBreakdown)
+    processor_busy_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_gbps(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.delivered_bytes * 8 / self.makespan_seconds / 1e9
+
+    @property
+    def throughput_mpps(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.delivered_packets / self.makespan_seconds / 1e6
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.delivered_packets + self.dropped_packets
+        if total <= 0:
+            return 0.0
+        return self.dropped_packets / total
+
+    def utilization(self) -> Dict[str, float]:
+        """Busy fraction per processor over the makespan."""
+        if self.makespan_seconds <= 0:
+            return {}
+        return {
+            proc: busy / self.makespan_seconds
+            for proc, busy in sorted(self.processor_busy_seconds.items())
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.throughput_gbps:.2f} Gbps "
+            f"({self.throughput_mpps:.2f} Mpps), "
+            f"latency mean {self.latency.mean_ms:.3f} ms "
+            f"p99 {self.latency.p99 * 1e3:.3f} ms, "
+            f"drops {self.drop_rate:.1%}"
+        )

@@ -1,0 +1,116 @@
+"""Execution tracing for the simulation engine.
+
+An :class:`EventRecorder` passed to
+:meth:`~repro.sim.engine.SimulationEngine.run` captures one event per
+(batch, node) visit — ready time, completion time, token size — plus a
+per-batch summary.  Useful for debugging schedules ("why is this
+deployment slow?"), for visualizing pipelines, and for regression
+baselines; events export to plain dicts/JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class NodeEvent:
+    """One node servicing one batch token."""
+
+    batch_index: int
+    node_id: str
+    ready: float
+    completion: float
+    packets: float
+
+    @property
+    def span(self) -> float:
+        return self.completion - self.ready
+
+
+@dataclass(frozen=True)
+class BatchEvent:
+    """One batch's end-to-end journey."""
+
+    batch_index: int
+    arrival: float
+    completion: float
+    delivered_packets: float
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class EventRecorder:
+    """Collects node and batch events during a simulation run."""
+
+    node_events: List[NodeEvent] = field(default_factory=list)
+    batch_events: List[BatchEvent] = field(default_factory=list)
+
+    def record_node(self, batch_index: int, node_id: str, ready: float,
+                    completion: float, packets: float) -> None:
+        self.node_events.append(NodeEvent(
+            batch_index=batch_index, node_id=node_id, ready=ready,
+            completion=completion, packets=packets,
+        ))
+
+    def record_batch(self, batch_index: int, arrival: float,
+                     completion: float, delivered: float) -> None:
+        self.batch_events.append(BatchEvent(
+            batch_index=batch_index, arrival=arrival,
+            completion=completion, delivered_packets=delivered,
+        ))
+
+    # ------------------------------------------------------------------
+    def events_for_batch(self, batch_index: int) -> List[NodeEvent]:
+        return [e for e in self.node_events
+                if e.batch_index == batch_index]
+
+    def node_spans(self) -> Dict[str, float]:
+        """Total (ready -> completion) span per node across batches."""
+        spans: Dict[str, float] = {}
+        for event in self.node_events:
+            spans[event.node_id] = spans.get(event.node_id, 0.0) \
+                + event.span
+        return spans
+
+    def bottleneck_node(self) -> Optional[str]:
+        """The node with the largest accumulated span."""
+        spans = self.node_spans()
+        if not spans:
+            return None
+        return max(spans, key=spans.get)
+
+    def critical_path(self, batch_index: int) -> List[NodeEvent]:
+        """The batch's node events ordered by completion time."""
+        return sorted(self.events_for_batch(batch_index),
+                      key=lambda e: e.completion)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, list]:
+        return {
+            "node_events": [asdict(e) for e in self.node_events],
+            "batch_events": [asdict(e) for e in self.batch_events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self, top: int = 5) -> str:
+        """Human-readable digest: slowest nodes and batch latencies."""
+        lines = [f"trace: {len(self.node_events)} node events over "
+                 f"{len(self.batch_events)} batches"]
+        spans = sorted(self.node_spans().items(), key=lambda kv: -kv[1])
+        for node_id, span in spans[:top]:
+            lines.append(f"  {node_id}: {span * 1e6:.1f} us total span")
+        if self.batch_events:
+            latencies = [e.latency for e in self.batch_events]
+            lines.append(
+                f"  batch latency: min {min(latencies) * 1e6:.1f} us, "
+                f"max {max(latencies) * 1e6:.1f} us"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Packet-size laws used by the paper's traffic generators.
+
+The evaluation uses fixed sizes (64/128/536/1360/1500 B), uniform
+random sizes, and the Intel IMIX mix: 61.22 % 64-byte, 23.47 %
+536-byte, and 15.31 % 1360-byte packets (Section V.C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+MIN_FRAME = 64
+MAX_FRAME = 1500
+
+#: Intel IMIX (weight, frame size) pairs as cited in the paper.
+IMIX_MIX: Tuple[Tuple[float, int], ...] = (
+    (0.6122, 64),
+    (0.2347, 536),
+    (0.1531, 1360),
+)
+
+
+class SizeDistribution:
+    """Interface for packet frame-size laws."""
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one frame size in bytes."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected frame size in bytes (used for Gbps conversion)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSize(SizeDistribution):
+    """Every frame has the same size."""
+
+    size: int
+
+    def __post_init__(self):
+        if not MIN_FRAME <= self.size <= MAX_FRAME:
+            raise ValueError(
+                f"frame size {self.size} outside [{MIN_FRAME}, {MAX_FRAME}]"
+            )
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+@dataclass(frozen=True)
+class UniformSize(SizeDistribution):
+    """Frame sizes uniformly random in [low, high]."""
+
+    low: int = MIN_FRAME
+    high: int = MAX_FRAME
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ValueError("low must not exceed high")
+        if self.low < MIN_FRAME or self.high > MAX_FRAME:
+            raise ValueError("bounds outside the valid Ethernet frame range")
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class EmpiricalSize(SizeDistribution):
+    """A weighted mixture of fixed frame sizes."""
+
+    def __init__(self, mix: Sequence[Tuple[float, int]]):
+        if not mix:
+            raise ValueError("mixture must not be empty")
+        total = sum(weight for weight, _size in mix)
+        if total <= 0:
+            raise ValueError("mixture weights must be positive")
+        self._sizes: List[int] = [size for _weight, size in mix]
+        self._weights: List[float] = [weight / total for weight, _size in mix]
+        self._cdf: List[float] = []
+        acc = 0.0
+        for weight in self._weights:
+            acc += weight
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        draw = rng.random()
+        for threshold, size in zip(self._cdf, self._sizes):
+            if draw <= threshold:
+                return size
+        return self._sizes[-1]
+
+    def mean(self) -> float:
+        return sum(w * s for w, s in zip(self._weights, self._sizes))
+
+
+class IMIXSize(EmpiricalSize):
+    """The Intel IMIX packet mix used in the Fig. 15 evaluation."""
+
+    def __init__(self):
+        super().__init__(IMIX_MIX)

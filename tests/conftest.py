@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.costs import CostModel
+from repro.hw.platform import PlatformSpec
+from repro.sim.engine import SimulationEngine
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficGenerator, TrafficSpec
+
+
+@pytest.fixture
+def platform() -> PlatformSpec:
+    return PlatformSpec()
+
+
+@pytest.fixture
+def small_platform() -> PlatformSpec:
+    return PlatformSpec.small()
+
+
+@pytest.fixture
+def cost_model(platform) -> CostModel:
+    return CostModel(platform)
+
+
+@pytest.fixture
+def engine(platform) -> SimulationEngine:
+    return SimulationEngine(platform)
+
+
+@pytest.fixture
+def udp_spec() -> TrafficSpec:
+    return TrafficSpec(size_law=FixedSize(128), offered_gbps=10.0, seed=42)
+
+
+@pytest.fixture
+def tcp_spec() -> TrafficSpec:
+    return TrafficSpec(size_law=FixedSize(128), offered_gbps=10.0,
+                       protocol="tcp", seed=42)
+
+
+@pytest.fixture
+def generator(udp_spec) -> TrafficGenerator:
+    return TrafficGenerator(udp_spec)
+
+
+@pytest.fixture
+def packets(generator):
+    return list(generator.packets(32))

@@ -1,0 +1,143 @@
+"""Lock the Table III parallelization calculus to the paper."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.actions import Hazard, explain, hazards_between, \
+    parallelizable
+from repro.elements.element import ActionProfile
+from repro.nf.catalog import action_profile_of
+
+READ_HDR = ActionProfile(reads_header=True)
+READ_PL = ActionProfile(reads_payload=True)
+WRITE_HDR = ActionProfile(reads_header=True, writes_header=True)
+WRITE_PL = ActionProfile(reads_payload=True, writes_payload=True)
+DROPPER = ActionProfile(reads_header=True, drops=True)
+RESIZER = ActionProfile(reads_payload=True, writes_payload=True,
+                        adds_removes_bits=True)
+
+
+class TestTableIIIRules:
+    def test_rar_parallelizable(self):
+        assert parallelizable(READ_HDR, READ_HDR)
+        assert parallelizable(READ_HDR, READ_PL)
+
+    def test_war_parallelizable(self):
+        """Former reads, later writes: duplication isolates the read."""
+        assert parallelizable(READ_HDR, WRITE_HDR)
+
+    def test_raw_not_parallelizable(self):
+        """Former writes what the later reads."""
+        assert not parallelizable(WRITE_HDR, READ_HDR)
+        assert Hazard.RAW_HEADER in hazards_between(WRITE_HDR, READ_HDR)
+
+    def test_waw_same_region_not_parallelizable(self):
+        assert not parallelizable(WRITE_HDR, WRITE_HDR)
+        assert Hazard.WAW_HEADER in hazards_between(WRITE_HDR, WRITE_HDR)
+
+    def test_waw_disjoint_regions_parallelizable(self):
+        """The starred Table III cases: header writer || payload writer
+        (when neither reads the other's region)."""
+        header_only = ActionProfile(writes_header=True)
+        payload_only = ActionProfile(writes_payload=True)
+        assert parallelizable(header_only, payload_only)
+        assert parallelizable(payload_only, header_only)
+
+    def test_drops_always_safe(self):
+        assert parallelizable(DROPPER, READ_HDR)
+        assert parallelizable(READ_HDR, DROPPER)
+        assert parallelizable(DROPPER, DROPPER)
+
+    def test_size_change_conflicts_with_readers(self):
+        assert not parallelizable(RESIZER, READ_PL)
+        assert Hazard.SIZE_CHANGE in hazards_between(RESIZER, READ_PL)
+
+    def test_size_change_conflicts_in_either_order(self):
+        assert not parallelizable(READ_PL, RESIZER)
+
+    def test_empty_profiles_parallelizable(self):
+        assert parallelizable(ActionProfile(), ActionProfile())
+
+
+class TestCatalogPairs:
+    """Verdicts over the Table II NF set the paper discusses."""
+
+    def test_ids_parallel_with_proxy(self):
+        """The paper's worked example: IDS || WAN proxy."""
+        assert parallelizable(action_profile_of("ids"),
+                              action_profile_of("proxy"))
+
+    def test_firewall_parallel_with_ids(self):
+        assert parallelizable(action_profile_of("firewall"),
+                              action_profile_of("ids"))
+
+    def test_firewall_parallel_with_lb(self):
+        assert parallelizable(action_profile_of("firewall"),
+                              action_profile_of("lb"))
+
+    def test_nat_then_firewall_not_parallel(self):
+        """NAT writes the header the firewall reads (RAW)."""
+        assert not parallelizable(action_profile_of("nat"),
+                                  action_profile_of("firewall"))
+
+    def test_firewall_then_nat_parallel(self):
+        """WAR order: the firewall sees the original header."""
+        assert parallelizable(action_profile_of("firewall"),
+                              action_profile_of("nat"))
+
+    def test_nat_not_parallel_with_nat(self):
+        assert not parallelizable(action_profile_of("nat"),
+                                  action_profile_of("nat"))
+
+    def test_wanopt_conflicts_broadly(self):
+        for other in ("probe", "ids", "firewall", "nat", "lb", "proxy"):
+            assert not parallelizable(action_profile_of("wanopt"),
+                                      action_profile_of(other))
+
+    def test_probe_parallel_with_everything_readonly(self):
+        for other in ("probe", "ids", "firewall", "lb"):
+            assert parallelizable(action_profile_of("probe"),
+                                  action_profile_of(other))
+
+
+profiles = st.builds(
+    ActionProfile,
+    reads_header=st.booleans(),
+    reads_payload=st.booleans(),
+    writes_header=st.booleans(),
+    writes_payload=st.booleans(),
+    adds_removes_bits=st.booleans(),
+    drops=st.booleans(),
+)
+
+
+@given(former=profiles, later=profiles)
+def test_verdict_matches_hazard_emptiness(former, later):
+    assert parallelizable(former, later) == \
+        (not hazards_between(former, later))
+
+
+@given(former=profiles, later=profiles)
+def test_pure_readers_never_conflict(former, later):
+    if not former.writes and not later.writes:
+        assert parallelizable(former, later)
+
+
+@given(former=profiles, later=profiles)
+def test_raw_detection_is_order_sensitive(former, later):
+    """RAW in one order is WAR in the other: if the only hazard is a
+    RAW, flipping the order must clear it."""
+    hazards = hazards_between(former, later)
+    raw_only = hazards and hazards <= {Hazard.RAW_HEADER,
+                                       Hazard.RAW_PAYLOAD}
+    if raw_only and not later.writes:
+        assert parallelizable(later, former)
+
+
+def test_explain_mentions_hazards():
+    text = explain(WRITE_HDR, READ_HDR)
+    assert "raw_header" in text
+    assert "not parallelizable" in text
+    assert "parallelizable" in explain(READ_HDR, READ_HDR)

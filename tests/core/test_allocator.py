@@ -1,0 +1,81 @@
+"""Unit tests for the graph task allocator (GTA)."""
+
+import pytest
+
+from repro.core.allocator import GraphTaskAllocator
+from repro.hw.platform import PlatformSpec
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.traffic.distributions import FixedSize, IMIXSize
+from repro.traffic.generator import TrafficSpec
+
+
+@pytest.fixture
+def spec():
+    return TrafficSpec(size_law=IMIXSize(), offered_gbps=40.0, seed=3)
+
+
+def allocate(nf_types, spec, **kwargs):
+    allocator = GraphTaskAllocator(platform=PlatformSpec(), **kwargs)
+    graph = ServiceFunctionChain(
+        [make_nf(t) for t in nf_types]
+    ).concatenated_graph()
+    mapping, report = allocator.allocate(graph, spec)
+    return graph, mapping, report
+
+
+class TestAllocation:
+    def test_mapping_is_valid(self, spec):
+        graph, mapping, _report = allocate(["ipsec"], spec)
+        mapping.validate_against(graph)
+
+    def test_ipsec_offloaded(self, spec):
+        _graph, _mapping, report = allocate(["ipsec"], spec)
+        assert any(r > 0 for r in report.offload_ratios.values())
+
+    def test_ipv4_stays_on_cpu(self, spec):
+        """The Fig. 15 IPv4 result: GTA does not offload at all."""
+        _graph, _mapping, report = allocate(["ipv4"], spec)
+        assert all(r == 0 for r in report.offload_ratios.values())
+
+    def test_stateful_elements_never_offloaded(self, spec):
+        graph, _mapping, report = allocate(["nat", "ipsec"], spec)
+        for node, ratio in report.offload_ratios.items():
+            if graph.element(node).is_stateful:
+                assert ratio == 0.0
+
+    def test_ratios_quantized_by_delta(self, spec):
+        _graph, _mapping, report = allocate(["ipsec"], spec, delta=0.25)
+        for ratio in report.offload_ratios.values():
+            assert ratio * 4 == pytest.approx(round(ratio * 4))
+
+    def test_cpu_cores_load_balanced(self, spec):
+        _graph, _mapping, report = allocate(
+            ["ipsec", "ids"], spec,
+            cpu_cores=["cpu0", "cpu1", "cpu2"],
+        )
+        loads = sorted(report.cpu_core_loads.values())
+        assert len(loads) == 3
+        # LPT keeps the heaviest core within ~2x of the mean.
+        if loads[-1] > 0:
+            mean = sum(loads) / len(loads)
+            assert loads[-1] <= 2.5 * mean + 1e-9
+
+    def test_agglomerative_algorithm_runs(self, spec):
+        graph, mapping, report = allocate(["ipsec"], spec,
+                                          algorithm="agglomerative")
+        mapping.validate_against(graph)
+        assert report.partition.algorithm == "agglomerative"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            GraphTaskAllocator(algorithm="simulated-annealing")
+
+    def test_report_summary(self, spec):
+        _graph, _mapping, report = allocate(["ipsec"], spec)
+        assert "GTA" in report.summary()
+
+    def test_node_shares_reflect_topology(self, spec):
+        graph, _mapping, report = allocate(["firewall"], spec)
+        source = graph.sources()[0]
+        assert report.node_shares[source] == pytest.approx(1.0)

@@ -1,0 +1,178 @@
+"""Unit and property tests for the XOR/OR parallel-branch merge."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.merge import (
+    MergeConflictError,
+    OriginalSnapshot,
+    XorMerge,
+    xor_merge_packets,
+)
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+
+
+def snap(packet):
+    packet.annotations["orig_bytes"] = packet.to_bytes()
+    return packet
+
+
+class TestXorMergePackets:
+    def test_identity_when_no_branch_writes(self):
+        packet = Packet(payload=b"untouched")
+        original = packet.to_bytes()
+        merged = xor_merge_packets(original, [packet.clone(),
+                                              packet.clone()])
+        assert merged.to_bytes() == original
+
+    def test_single_writer_propagates(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        writer = packet.clone()
+        writer.payload = b"ABCdef"
+        merged = xor_merge_packets(original, [packet.clone(), writer])
+        assert merged.payload == b"ABCdef"
+
+    def test_disjoint_writers_combine(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        head_writer = packet.clone()
+        head_writer.payload = b"ABcdef"
+        tail_writer = packet.clone()
+        tail_writer.payload = b"abcdEF"
+        merged = xor_merge_packets(original,
+                                   [head_writer, tail_writer])
+        assert merged.payload == b"ABcdEF"
+
+    def test_header_and_payload_writers_combine(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        header_writer = packet.clone()
+        header_writer.ip.ttl = 7
+        payload_writer = packet.clone()
+        payload_writer.payload = b"ABCDEF"
+        merged = xor_merge_packets(original,
+                                   [header_writer, payload_writer])
+        assert merged.ip.ttl == 7
+        assert merged.payload == b"ABCDEF"
+
+    def test_identical_outputs_merge_trivially(self):
+        packet = Packet(payload=b"plain")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"cipher-text-longer-than-before"
+        b = packet.clone()
+        b.payload = b"cipher-text-longer-than-before"
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.payload == b"cipher-text-longer-than-before"
+
+    def test_single_resizer_tolerated(self):
+        packet = Packet(payload=b"short")
+        original = packet.to_bytes()
+        resizer = packet.clone()
+        resizer.payload = b"a much longer payload now"
+        reader = packet.clone()
+        merged = xor_merge_packets(original, [reader, resizer])
+        assert merged.payload == b"a much longer payload now"
+
+    def test_two_conflicting_resizers_rejected(self):
+        packet = Packet(payload=b"short")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"longer one A"
+        b = packet.clone()
+        b.payload = b"much longer other B"
+        with pytest.raises(MergeConflictError):
+            xor_merge_packets(original, [a, b])
+
+    def test_resizer_plus_writer_rejected(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        resizer = packet.clone()
+        resizer.payload = b"different length"
+        writer = packet.clone()
+        writer.payload = b"ABCdef"
+        with pytest.raises(MergeConflictError):
+            xor_merge_packets(original, [resizer, writer])
+
+    def test_annotations_unioned(self):
+        packet = Packet(payload=b"x")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.annotations["from_a"] = 1
+        b = packet.clone()
+        b.annotations["from_b"] = 2
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.annotations["from_a"] == 1
+        assert merged.annotations["from_b"] == 2
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            xor_merge_packets(b"", [])
+
+
+@given(
+    payload=st.binary(min_size=4, max_size=64),
+    cut=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=80)
+def test_disjoint_region_merge_equals_sequential(payload, cut):
+    """For writers touching disjoint byte ranges, the parallel merge
+    equals applying both writes sequentially (the Table III guarantee)."""
+    cut = min(cut, len(payload) - 1)
+    packet = Packet(payload=payload)
+    original = packet.to_bytes()
+    first = packet.clone()
+    first.payload = bytes(len(payload[:cut])) + payload[cut:]
+    second = packet.clone()
+    second.payload = payload[:cut] + b"\xff" * len(payload[cut:])
+    merged = xor_merge_packets(original, [first, second])
+    expected = bytes(cut) + b"\xff" * (len(payload) - cut)
+    assert merged.payload == expected
+
+
+class TestXorMergeElement:
+    def test_merges_complete_sets(self):
+        packet = Packet(payload=b"data")
+        snap(packet)
+        clones = [packet.clone(), packet.clone()]
+        merge = XorMerge(branch_count=2)
+        out = merge.push(PacketBatch(clones))
+        assert len(out[0]) == 1
+        assert merge.merged_count == 1
+
+    def test_incomplete_set_dropped(self):
+        """A packet dropped by one branch is dropped by the merge."""
+        packet = Packet(payload=b"data")
+        snap(packet)
+        merge = XorMerge(branch_count=3)
+        out = merge.push(PacketBatch([packet.clone(), packet.clone()]))
+        assert len(out[0].live_packets) == 0
+        assert merge.dropped_by_branch == 1
+
+    def test_output_sorted_by_seqno(self):
+        a = snap(Packet(payload=b"a", seqno=2))
+        b = snap(Packet(payload=b"b", seqno=1))
+        merge = XorMerge(branch_count=1)
+        out = merge.push(PacketBatch([a, b]))
+        assert [p.seqno for p in out[0]] == [1, 2]
+
+    def test_missing_snapshot_rejected(self):
+        merge = XorMerge(branch_count=1)
+        with pytest.raises(MergeConflictError):
+            merge.push(PacketBatch([Packet(payload=b"x")]))
+
+    def test_snapshot_element_records_bytes(self):
+        packet = Packet(payload=b"payload")
+        OriginalSnapshot().push(PacketBatch([packet]))
+        assert packet.annotations["orig_bytes"] == packet.to_bytes()
+
+    def test_invalid_branch_count(self):
+        with pytest.raises(ValueError):
+            XorMerge(branch_count=0)
+
+    def test_cost_hints_carry_branches(self):
+        assert XorMerge(branch_count=4).cost_hints()["branches"] == 4.0

@@ -1,0 +1,149 @@
+"""Unit tests for the SFC orchestrator (parallelization)."""
+
+import pytest
+
+from repro.core.orchestrator import (
+    SFCOrchestrator,
+    assume_identical_nfs_independent,
+)
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+
+
+@pytest.fixture
+def orchestrator():
+    return SFCOrchestrator()
+
+
+class TestAnalysis:
+    def test_independent_nfs_form_one_stage(self, orchestrator):
+        sfc = ServiceFunctionChain(
+            [make_nf("firewall"), make_nf("ids"), make_nf("lb")]
+        )
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 1
+        assert plan.max_parallelism == 3
+        assert not plan.conflicts
+
+    def test_conflicting_nfs_stay_sequential(self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("nat"), make_nf("firewall")])
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 2
+        assert plan.conflicts
+
+    def test_war_order_parallelizes(self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("nat")])
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 1
+
+    def test_mixed_chain(self, orchestrator):
+        """fw || ids first; ipsec (writer) serializes after them."""
+        sfc = ServiceFunctionChain(
+            [make_nf("firewall"), make_nf("ids"), make_nf("ipsec")]
+        )
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 2
+        assert [nf.nf_type for nf in plan.stages[0]] == ["firewall", "ids"]
+        assert [nf.nf_type for nf in plan.stages[1]] == ["ipsec"]
+
+    def test_max_width_caps_stage_size(self, orchestrator):
+        sfc = ServiceFunctionChain(
+            [make_nf("firewall"), make_nf("ids"), make_nf("lb"),
+             make_nf("probe")]
+        )
+        plan = orchestrator.analyze(sfc, max_width=2)
+        assert plan.effective_length == 2
+        assert all(len(stage) <= 2 for stage in plan.stages)
+
+    def test_identical_override(self):
+        orchestrator = SFCOrchestrator(
+            independence_override=assume_identical_nfs_independent
+        )
+        sfc = ServiceFunctionChain([make_nf("ipsec") for _ in range(4)])
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 1
+        assert plan.max_parallelism == 4
+
+    def test_override_defers_for_different_types(self):
+        orchestrator = SFCOrchestrator(
+            independence_override=assume_identical_nfs_independent
+        )
+        sfc = ServiceFunctionChain([make_nf("nat"), make_nf("firewall")])
+        assert orchestrator.analyze(sfc).effective_length == 2
+
+    def test_describe_shows_stages(self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("ids")])
+        plan = orchestrator.analyze(sfc)
+        assert "[" in plan.describe()
+
+
+class TestStageGraph:
+    def test_single_nf_stage_embeds_directly(self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("probe")])
+        plan, graph = orchestrator.parallelize(sfc)
+        kinds = {e.kind for e in graph.elements().values()}
+        assert "Tee" not in kinds
+        assert "XorMerge" not in kinds
+
+    def test_parallel_stage_has_snapshot_tee_merge(self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("ids")])
+        plan, graph = orchestrator.parallelize(sfc)
+        kinds = [e.kind for e in graph.elements().values()]
+        assert kinds.count("Tee") == 1
+        assert kinds.count("XorMerge") == 1
+        assert kinds.count("OriginalSnapshot") == 1
+        graph.validate()
+
+    def test_empty_stage_rejected(self, orchestrator):
+        with pytest.raises(ValueError):
+            orchestrator.build_stage_graph([[]])
+
+    def test_parallel_graph_preserves_read_only_behaviour(
+            self, orchestrator, generator):
+        """Differential test: parallel deployment == sequential for
+        independent NFs."""
+        sfc = ServiceFunctionChain(
+            [make_nf("firewall"), make_nf("ids"), make_nf("lb")]
+        )
+        packets = list(generator.packets(24))
+        sequential = sfc.process_packets([p.clone() for p in packets])
+        _plan, graph = orchestrator.parallelize(sfc)
+        parallel = graph.run_packets([p.clone() for p in packets])
+        assert [p.to_bytes() for p in sequential] == \
+            [p.to_bytes() for p in parallel]
+
+    def test_parallel_graph_preserves_drop_semantics(self, orchestrator):
+        """IDS dropping in a branch drops the packet overall."""
+        from repro.net.packet import Packet
+        ids = make_nf("ids", patterns=[b"attack"])
+        firewall = make_nf("firewall")
+        sfc = ServiceFunctionChain([firewall, ids])
+        bad = Packet(payload=b"attack payload", seqno=0)
+        good = Packet(payload=b"fine payload", seqno=1)
+        sequential = sfc.process_packets([bad.clone(), good.clone()])
+        sfc.reset()
+        _plan, graph = orchestrator.parallelize(sfc)
+        parallel = graph.run_packets([bad.clone(), good.clone()])
+        assert [p.seqno for p in sequential] == [1]
+        assert [p.seqno for p in parallel] == [1]
+
+    def test_parallel_graph_preserves_writer_behaviour(
+            self, orchestrator, generator):
+        """WAR pair (firewall || NAT): merge must apply NAT's writes."""
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("nat")])
+        packets = list(generator.packets(12))
+        sequential = sfc.process_packets([p.clone() for p in packets])
+        sfc.reset()
+        _plan, graph = orchestrator.parallelize(sfc)
+        parallel = graph.run_packets([p.clone() for p in packets])
+        assert [p.to_bytes() for p in sequential] == \
+            [p.to_bytes() for p in parallel]
+
+    def test_effective_length_reduction_reported(self, orchestrator):
+        sfc = ServiceFunctionChain(
+            [make_nf("firewall"), make_nf("ids"), make_nf("lb"),
+             make_nf("probe")]
+        )
+        plan = orchestrator.analyze(sfc)
+        assert sfc.length == 4
+        assert plan.effective_length == 1

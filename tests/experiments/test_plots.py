@@ -1,0 +1,66 @@
+"""Tests for terminal plotting helpers."""
+
+from repro.experiments.plots import bar_chart, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uses_floor(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes_mapped(self):
+        line = sparkline([0, 100])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+    def test_monotone_series_nondecreasing(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        levels = ["▁▂▃▄▅▆▇█".index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_labels_and_values_present(self):
+        text = bar_chart([("cpu", 1.0), ("gpu", 3.0)], unit=" Gbps")
+        assert "cpu" in text
+        assert "3.00 Gbps" in text
+
+    def test_peak_gets_longest_bar(self):
+        text = bar_chart([("a", 1.0), ("b", 4.0)], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_zero_values_render(self):
+        text = bar_chart([("a", 0.0)])
+        assert "0.00" in text
+
+
+class TestLinePlot:
+    def test_empty(self):
+        assert line_plot({}, title="t") == "t"
+
+    def test_markers_and_legend(self):
+        text = line_plot({
+            "cpu": [(0, 1.0), (1, 2.0)],
+            "gpu": [(0, 3.0), (1, 4.0)],
+        })
+        assert "* cpu" in text
+        assert "o gpu" in text
+        assert "*" in text.splitlines()[-2] or "*" in text
+
+    def test_axis_bounds_shown(self):
+        text = line_plot({"s": [(10, 5.0), (20, 9.0)]})
+        assert "9.00" in text
+        assert "5.00" in text
+
+    def test_single_point(self):
+        text = line_plot({"s": [(1, 1.0)]})
+        assert "*" in text

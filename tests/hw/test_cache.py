@@ -1,0 +1,53 @@
+"""Unit tests for the cache-pressure model."""
+
+import pytest
+
+from repro.hw.cache import cache_penalty_factor
+from repro.hw.platform import CPUSpec
+
+
+class TestCachePenalty:
+    def setup_method(self):
+        self.cpu = CPUSpec()
+
+    def test_small_working_set_unpenalized(self):
+        assert cache_penalty_factor(1024, self.cpu) == 1.0
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            cache_penalty_factor(-1, self.cpu)
+
+    def test_penalty_monotonic_in_working_set(self):
+        sizes = [2 ** k for k in range(10, 28)]
+        factors = [cache_penalty_factor(s, self.cpu) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_l2_spill_penalizes(self):
+        within = cache_penalty_factor(self.cpu.l2_bytes // 2, self.cpu)
+        spilled = cache_penalty_factor(self.cpu.l2_bytes * 4, self.cpu)
+        assert spilled > within
+
+    def test_l3_spill_penalizes_more(self):
+        l2_spill = cache_penalty_factor(self.cpu.l3_bytes // 2, self.cpu)
+        l3_spill = cache_penalty_factor(self.cpu.l3_bytes * 3, self.cpu)
+        assert l3_spill > l2_spill
+
+    def test_penalty_bounded(self):
+        huge = cache_penalty_factor(10 * self.cpu.l3_bytes, self.cpu)
+        from repro.hw.cache import L2_SPILL_PENALTY, L3_SPILL_PENALTY
+        assert huge <= 1.0 + L2_SPILL_PENALTY + L3_SPILL_PENALTY
+
+    def test_co_run_pressure_shrinks_effective_l3(self):
+        working_set = self.cpu.l3_bytes  # exactly at capacity
+        alone = cache_penalty_factor(working_set, self.cpu)
+        contended = cache_penalty_factor(
+            working_set, self.cpu,
+            co_run_pressure_bytes=self.cpu.l3_bytes // 2,
+        )
+        assert contended > alone
+
+    def test_co_run_pressure_never_negative_capacity(self):
+        factor = cache_penalty_factor(
+            1024, self.cpu, co_run_pressure_bytes=100 * self.cpu.l3_bytes
+        )
+        assert factor >= 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for the co-existence interference model."""
+
+import pytest
+
+from repro.hw.interference import (
+    InterferenceModel,
+    NF_PRESSURE_PROFILES,
+    PressureProfile,
+)
+
+FIVE = ["ipv4", "ipsec", "ids", "firewall", "lb"]
+
+
+@pytest.fixture
+def model():
+    return InterferenceModel()
+
+
+class TestPairwiseDrops:
+    def test_self_pair_excluded_from_matrix_diagonal(self, model):
+        matrix = model.drop_matrix(FIVE)
+        for i in range(len(FIVE)):
+            assert matrix[i][i] == 0.0
+
+    def test_drops_in_unit_interval(self, model):
+        for victim in FIVE:
+            for aggressor in FIVE:
+                drop = model.pairwise_drop(victim, aggressor)
+                assert 0.0 <= drop <= model.MAX_DROP
+
+    def test_unknown_nf_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.pairwise_drop("ghost", "ipv4")
+
+    def test_unknown_platform_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.pairwise_drop("ids", "ipv4", platform="tpu")
+
+    def test_gpu_platform_supported(self, model):
+        assert model.pairwise_drop("ids", "ipsec", platform="gpu") > 0
+
+
+class TestPaperFindings:
+    def test_ids_is_most_sensitive_victim(self, model):
+        averages = {v: model.average_drop(v, FIVE) for v in FIVE}
+        assert max(averages, key=averages.get) == "ids"
+
+    def test_firewall_is_least_sensitive_victim(self, model):
+        averages = {v: model.average_drop(v, FIVE) for v in FIVE}
+        assert min(averages, key=averages.get) == "firewall"
+
+    def test_ids_average_near_paper_value(self, model):
+        """Paper: IDS average pairwise drop is 22.2 %."""
+        assert model.average_drop("ids", FIVE) == pytest.approx(0.222,
+                                                                abs=0.03)
+
+    def test_ipsec_pressures_gpu_more_than_cache(self, model):
+        profile = model.profile("ipsec")
+        assert profile.kernel_pressure > profile.cache_pressure
+
+
+class TestAggregation:
+    def test_corun_drop_sublinear_composition(self, model):
+        single = model.pairwise_drop("ids", "ipsec")
+        double = model.corun_drop("ids", ["ipsec", "ipsec"])
+        assert single < double < 2 * single
+
+    def test_corun_drop_capped(self, model):
+        drop = model.corun_drop("ids", ["ids"] * 20)
+        assert drop <= model.MAX_DROP
+
+    def test_no_aggressors_no_drop(self, model):
+        assert model.corun_drop("ids", []) == 0.0
+        assert model.average_drop("ids", ["ids"]) == 0.0
+
+    def test_pressure_bytes_additive(self, model):
+        one = model.co_run_pressure_bytes(["ipv4"])
+        two = model.co_run_pressure_bytes(["ipv4", "ipsec"])
+        assert two > one
+
+    def test_custom_profiles(self):
+        custom = InterferenceModel({
+            "a": PressureProfile(1e6, 0.5, 0.5, 0.5, 0.5),
+            "b": PressureProfile(1e6, 0.1, 0.9, 0.1, 0.9),
+        })
+        assert custom.pairwise_drop("a", "b") > custom.pairwise_drop("b", "a")
+
+    def test_all_catalog_nfs_have_profiles(self):
+        from repro.nf.catalog import NF_CATALOG
+        for nf_type in NF_CATALOG:
+            assert nf_type in NF_PRESSURE_PROFILES

@@ -1,0 +1,119 @@
+"""Unit tests for flow tables and stream reassembly."""
+
+import pytest
+
+from repro.net.flow import FiveTuple, FlowTable, StreamReassembler
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+
+
+def flow_packet(sport, seqno=0):
+    return Packet(
+        ip=IPv4Header(src="10.0.0.1", dst="10.0.0.2"),
+        l4=UDPHeader(src_port=sport, dst_port=80),
+        seqno=seqno,
+    )
+
+
+class TestFiveTuple:
+    def test_of_packet(self):
+        key = FiveTuple.of(flow_packet(1234))
+        assert key == ("10.0.0.1", "10.0.0.2", 17, 1234, 80)
+
+    def test_reversed(self):
+        key = FiveTuple.of(flow_packet(1234))
+        rev = key.reversed()
+        assert rev.src == key.dst
+        assert rev.src_port == key.dst_port
+        assert rev.reversed() == key
+
+
+class TestFlowTable:
+    def test_observe_creates_flow(self):
+        table = FlowTable()
+        state = table.observe(flow_packet(1))
+        assert state.packets_seen == 1
+        assert len(table) == 1
+
+    def test_observe_accumulates(self):
+        table = FlowTable()
+        table.observe(flow_packet(1))
+        state = table.observe(flow_packet(1))
+        assert state.packets_seen == 2
+        assert len(table) == 1
+
+    def test_distinct_flows_distinct_entries(self):
+        table = FlowTable()
+        table.observe(flow_packet(1))
+        table.observe(flow_packet(2))
+        assert len(table) == 2
+
+    def test_lru_eviction(self):
+        table = FlowTable(capacity=2)
+        table.observe(flow_packet(1))
+        table.observe(flow_packet(2))
+        table.observe(flow_packet(3))  # evicts flow 1
+        assert len(table) == 2
+        assert table.evictions == 1
+        assert FiveTuple.of(flow_packet(1)) not in table
+
+    def test_lookup_refreshes_lru_position(self):
+        table = FlowTable(capacity=2)
+        table.observe(flow_packet(1))
+        table.observe(flow_packet(2))
+        table.lookup(FiveTuple.of(flow_packet(1)))  # refresh flow 1
+        table.observe(flow_packet(3))  # should evict flow 2 instead
+        assert FiveTuple.of(flow_packet(1)) in table
+        assert FiveTuple.of(flow_packet(2)) not in table
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable(capacity=0)
+
+    def test_remove(self):
+        table = FlowTable()
+        table.observe(flow_packet(1))
+        table.remove(FiveTuple.of(flow_packet(1)))
+        assert len(table) == 0
+
+
+class TestStreamReassembler:
+    def test_in_order_passthrough(self):
+        reassembler = StreamReassembler()
+        released = []
+        for seq in range(4):
+            released.extend(reassembler.push(flow_packet(1, seq)))
+        assert [p.seqno for p in released] == [0, 1, 2, 3]
+        assert reassembler.pending_count() == 0
+
+    def test_out_of_order_buffered_then_released(self):
+        reassembler = StreamReassembler(initial_expected=0)
+        assert reassembler.push(flow_packet(1, 1)) == []
+        assert reassembler.push(flow_packet(1, 2)) == []
+        released = reassembler.push(flow_packet(1, 0))
+        assert [p.seqno for p in released] == [0, 1, 2]
+
+    def test_flows_are_independent(self):
+        reassembler = StreamReassembler()
+        assert reassembler.push(flow_packet(1, 0))
+        assert reassembler.push(flow_packet(2, 0))
+
+    def test_duplicate_passes_through(self):
+        reassembler = StreamReassembler()
+        reassembler.push(flow_packet(1, 0))
+        dup = reassembler.push(flow_packet(1, 0))
+        assert len(dup) == 1
+
+    def test_buffered_bytes_tracked(self):
+        reassembler = StreamReassembler(initial_expected=0)
+        reassembler.push(flow_packet(1, 5))
+        assert reassembler.buffered_bytes > 0
+        assert reassembler.max_buffered_bytes >= reassembler.buffered_bytes
+
+    def test_flush_releases_everything(self):
+        reassembler = StreamReassembler(initial_expected=0)
+        reassembler.push(flow_packet(1, 3))
+        reassembler.push(flow_packet(1, 1))
+        leftovers = reassembler.flush()
+        assert [p.seqno for p in leftovers] == [1, 3]
+        assert reassembler.buffered_bytes == 0
+        assert reassembler.pending_count() == 0

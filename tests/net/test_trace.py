@@ -1,0 +1,112 @@
+"""Tests for packet trace capture and replay."""
+
+import io
+
+import pytest
+
+from repro.net.trace import (
+    TraceFormatError,
+    TraceReplay,
+    read_trace,
+    write_trace,
+)
+from repro.traffic.distributions import IMIXSize
+from repro.traffic.generator import TrafficGenerator, TrafficSpec
+
+
+@pytest.fixture
+def trace_path(tmp_path, generator):
+    path = tmp_path / "sample.rptr"
+    write_trace(path, generator.packets(50))
+    return path
+
+
+class TestRoundtrip:
+    def test_write_returns_count(self, tmp_path, generator):
+        path = tmp_path / "t.rptr"
+        assert write_trace(path, generator.packets(10)) == 10
+
+    def test_read_restores_frames(self, tmp_path):
+        spec = TrafficSpec(size_law=IMIXSize(), seed=12)
+        original = list(TrafficGenerator(spec).packets(40))
+        path = tmp_path / "t.rptr"
+        write_trace(path, (p.clone() for p in original))
+        restored = list(read_trace(path))
+        assert len(restored) == 40
+        assert [p.to_bytes() for p in restored] == \
+            [p.to_bytes() for p in original]
+        assert [p.seqno for p in restored] == \
+            [p.seqno for p in original]
+
+    def test_arrival_times_preserved(self, tmp_path, generator):
+        original = list(generator.packets(5))
+        path = tmp_path / "t.rptr"
+        write_trace(path, (p.clone() for p in original))
+        restored = list(read_trace(path))
+        for before, after in zip(original, restored):
+            assert after.arrival_time == pytest.approx(
+                before.arrival_time)
+
+    def test_in_memory_stream(self, generator):
+        buffer = io.BytesIO()
+        write_trace(buffer, generator.packets(8))
+        buffer.seek(0)
+        assert len(list(read_trace(buffer))) == 8
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rptr"
+        path.write_bytes(b"NOPE" + bytes(20))
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.rptr"
+        path.write_bytes(b"RP")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+    def test_truncated_body(self, tmp_path, generator):
+        path = tmp_path / "cut.rptr"
+        write_trace(path, generator.packets(4))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+
+class TestReplay:
+    def test_replay_batches(self, trace_path):
+        replay = TraceReplay(trace_path)
+        batch = replay.next_batch(16)
+        assert len(batch) == 16
+        assert batch.creation_time == batch.packets[0].arrival_time
+
+    def test_replay_exhausts_without_loop(self, trace_path):
+        replay = TraceReplay(trace_path)
+        batches = list(replay.batches(16, 10))
+        assert sum(len(b) for b in batches) == 50
+        assert replay.exhausted
+
+    def test_replay_loops_with_monotonic_bookkeeping(self, trace_path):
+        replay = TraceReplay(trace_path, loop=True)
+        packets = [replay.next_packet() for _ in range(120)]
+        seqnos = [p.seqno for p in packets]
+        times = [p.arrival_time for p in packets]
+        assert seqnos == sorted(seqnos)
+        assert len(set(seqnos)) == 120
+        assert times == sorted(times)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.rptr"
+        write_trace(path, [])
+        with pytest.raises(TraceFormatError):
+            TraceReplay(path)
+
+    def test_replayed_packets_process_through_nf(self, trace_path):
+        from repro.nf.catalog import make_nf
+        replay = TraceReplay(trace_path)
+        nf = make_nf("firewall")
+        out = nf.process_packets(replay.packets(20))
+        assert len(out) == 20

@@ -1,0 +1,85 @@
+"""Unit tests for NetworkFunction and ServiceFunctionChain."""
+
+import pytest
+
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.nf.catalog import make_nf
+
+
+class TestNetworkFunction:
+    def test_graph_cached(self):
+        nf = make_nf("probe")
+        assert nf.graph is nf.graph
+
+    def test_reset_rebuilds_graph(self):
+        nf = make_nf("probe")
+        first = nf.graph
+        nf.reset()
+        assert nf.graph is not first
+
+    def test_io_wrapping(self):
+        nf = make_nf("probe")
+        kinds = {e.kind for e in nf.graph.elements().values()}
+        assert "FromDevice" in kinds
+        assert "ToDevice" in kinds
+
+    def test_without_io(self):
+        nf = make_nf("probe", with_io=False)
+        kinds = {e.kind for e in nf.graph.elements().values()}
+        assert "FromDevice" not in kinds
+
+    def test_names_unique_by_default(self):
+        assert make_nf("probe").name != make_nf("probe").name
+
+    def test_abstract_build_core(self):
+        with pytest.raises(NotImplementedError):
+            NetworkFunction().graph
+
+
+class TestServiceFunctionChain:
+    def test_requires_nfs(self):
+        with pytest.raises(ValueError):
+            ServiceFunctionChain([])
+
+    def test_length(self):
+        sfc = ServiceFunctionChain([make_nf("probe"), make_nf("lb")])
+        assert len(sfc) == 2
+        assert sfc.length == 2
+
+    def test_default_name_from_types(self):
+        sfc = ServiceFunctionChain([make_nf("probe"), make_nf("lb")])
+        assert sfc.name == "probe->lb"
+
+    def test_indexing_and_iteration(self):
+        nfs = [make_nf("probe"), make_nf("lb")]
+        sfc = ServiceFunctionChain(nfs)
+        assert sfc[0] is nfs[0]
+        assert list(sfc) == nfs
+
+    def test_sequential_processing(self, generator):
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("lb")])
+        out = sfc.process_packets(generator.packets(16))
+        assert len(out) == 16
+        assert all("lb_backend" in p.annotations for p in out)
+
+    def test_concatenated_graph_structure(self):
+        sfc = ServiceFunctionChain([make_nf("probe"), make_nf("lb")])
+        graph = sfc.concatenated_graph()
+        graph.validate()
+        assert len(graph.sources()) == 1
+        assert len(graph.sinks()) == 1
+
+    def test_concatenated_graph_equivalent_to_sequential(self, generator):
+        sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("nat")])
+        packets = list(generator.packets(16))
+        sequential = sfc.process_packets([p.clone() for p in packets])
+        sfc.reset()
+        graph_out = sfc.concatenated_graph().run_packets(
+            [p.clone() for p in packets]
+        )
+        assert [p.to_bytes() for p in sequential] == \
+            [p.to_bytes() for p in graph_out]
+
+    def test_describe(self):
+        sfc = ServiceFunctionChain([make_nf("probe")])
+        assert "probe" in sfc.describe()

@@ -1,0 +1,145 @@
+"""Unit and property tests for the firewall and its matchers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.net.batch import PacketBatch
+from repro.net.packet import IPv4Header, Packet, UDPHeader, int_to_ipv4
+from repro.nf.firewall import (
+    AclClassify,
+    Firewall,
+    LinearMatcher,
+    TupleSpaceMatcher,
+)
+from repro.traffic.acl import generate_acl
+
+
+def packet_for(src, dst, sport=1000, dport=80):
+    return Packet(
+        ip=IPv4Header(src=src, dst=dst),
+        l4=UDPHeader(src_port=sport, dst_port=dport),
+    )
+
+
+class TestTupleSpaceMatcher:
+    def test_tuple_count_bounded_by_distinct_length_pairs(self):
+        rules = generate_acl(500, seed=1)
+        matcher = TupleSpaceMatcher(rules)
+        distinct = {(r.src_prefix[1], r.dst_prefix[1]) for r in rules}
+        assert matcher.tuple_count == len(distinct)
+
+    def test_matches_catch_all(self):
+        rules = generate_acl(10)
+        matcher = TupleSpaceMatcher(rules)
+        assert matcher.match(packet_for("1.2.3.4", "5.6.7.8")) is not None
+
+    def test_probe_counter(self):
+        matcher = TupleSpaceMatcher(generate_acl(50))
+        before = matcher.probes
+        matcher.match(packet_for("1.1.1.1", "2.2.2.2"))
+        assert matcher.probes == before + matcher.tuple_count
+
+
+@given(
+    src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_matchers_agree(src, dst, sport, dport, seed):
+    """Tuple-space search implements exactly first-match semantics."""
+    rules = generate_acl(60, seed=seed, deny_fraction=0.4)
+    packet = packet_for(int_to_ipv4(src), int_to_ipv4(dst), sport, dport)
+    linear = LinearMatcher(rules).match(packet)
+    tuple_space = TupleSpaceMatcher(rules).match(packet)
+    assert (linear.priority if linear else None) == \
+        (tuple_space.priority if tuple_space else None)
+
+
+class TestAclClassify:
+    def test_accept_goes_to_port_0(self):
+        rules = generate_acl(20, deny_fraction=0.0)
+        classify = AclClassify(rules)
+        out = classify.push(PacketBatch([packet_for("1.1.1.1", "2.2.2.2")]))
+        assert len(out[0]) == 1
+
+    def test_deny_goes_to_port_1_when_not_dropping(self):
+        from repro.traffic.acl import AclRule
+        deny_all = [AclRule(priority=0, src_prefix=(0, 0),
+                            dst_prefix=(0, 0), src_ports=(0, 65535),
+                            dst_ports=(0, 65535), proto=None,
+                            action="deny")]
+        classify = AclClassify(deny_all, drop_on_deny=False)
+        out = classify.push(PacketBatch([packet_for("1.1.1.1", "2.2.2.2")]))
+        assert len(out[0]) == 0
+        assert len(out[1]) == 1
+        assert classify.deny_count == 1
+
+    def test_deny_drops_when_configured(self):
+        from repro.traffic.acl import AclRule
+        deny_all = [AclRule(priority=0, src_prefix=(0, 0),
+                            dst_prefix=(0, 0), src_ports=(0, 65535),
+                            dst_ports=(0, 65535), proto=None,
+                            action="deny")]
+        classify = AclClassify(deny_all, drop_on_deny=True)
+        packet = packet_for("1.1.1.1", "2.2.2.2")
+        classify.push(PacketBatch([packet]))
+        assert packet.dropped
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(ValueError):
+            AclClassify(generate_acl(5), matcher_kind="magic")
+
+    def test_tree_matcher_cost_hints(self):
+        classify = AclClassify(generate_acl(100), matcher_kind="tree")
+        hints = classify.cost_hints()
+        assert hints["tree"] == 1.0
+        assert hints["rules"] == 100.0
+
+    def test_rule_annotation_recorded(self):
+        classify = AclClassify(generate_acl(10, deny_fraction=0.0))
+        packet = packet_for("1.1.1.1", "2.2.2.2")
+        classify.push(PacketBatch([packet]))
+        assert "fw_rule" in packet.annotations
+
+
+class TestFirewallNF:
+    def test_table_ii_profile_never_drops(self, generator):
+        firewall = Firewall()  # default: no drops, per Table II
+        packets = list(generator.packets(32))
+        out = firewall.process_packets(packets)
+        assert len(out) == 32
+
+    def test_drop_on_deny_firewall_drops_some(self):
+        from repro.traffic.acl import AclRule
+        rules = [
+            AclRule(priority=0, src_prefix=(0, 0), dst_prefix=(0, 0),
+                    src_ports=(0, 65535), dst_ports=(53, 53), proto=None,
+                    action="deny"),
+            AclRule(priority=1, src_prefix=(0, 0), dst_prefix=(0, 0),
+                    src_ports=(0, 65535), dst_ports=(0, 65535), proto=None,
+                    action="accept"),
+        ]
+        firewall = Firewall(rules=rules, drop_on_deny=True)
+        from repro.traffic.generator import TrafficGenerator, TrafficSpec
+        gen = TrafficGenerator(TrafficSpec(seed=9))
+        packets = list(gen.packets(64))
+        dns = sum(1 for p in packets if p.l4.dst_port == 53)
+        assert 0 < dns < 64  # the seed produces a mix
+        out = firewall.process_packets(packets)
+        assert len(out) == 64 - dns
+
+    def test_matcher_kinds_agree_end_to_end(self, generator):
+        rules = generate_acl(80, seed=7, deny_fraction=0.5)
+        packets = list(generator.packets(32))
+        by_kind = {}
+        for kind in ("linear", "tuple_space", "tree"):
+            firewall = Firewall(rules=rules, matcher_kind=kind,
+                                drop_on_deny=True)
+            out = firewall.process_packets([p.clone() for p in packets])
+            by_kind[kind] = sorted(p.seqno for p in out)
+        assert by_kind["linear"] == by_kind["tuple_space"] == by_kind["tree"]

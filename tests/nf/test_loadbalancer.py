@@ -1,0 +1,97 @@
+"""Unit and property tests for the load balancer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.nf.loadbalancer import (
+    BackendSelect,
+    ConsistentHashRing,
+    LoadBalancer,
+)
+
+
+class TestConsistentHashRing:
+    def test_requires_backends(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_requires_positive_replicas(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"], replicas=0)
+
+    def test_pick_is_deterministic(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.pick("key-1") == ring.pick("key-1")
+
+    def test_all_backends_reachable(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        picked = {ring.pick(f"key-{i}") for i in range(500)}
+        assert picked == {"a", "b", "c", "d"}
+
+    def test_roughly_balanced(self):
+        backends = [f"b{i}" for i in range(4)]
+        ring = ConsistentHashRing(backends, replicas=128)
+        counts = {b: 0 for b in backends}
+        for i in range(4000):
+            counts[ring.pick(f"key-{i}")] += 1
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 2.0 * 1000
+
+    def test_remove_unknown_backend_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.remove("z")
+
+    def test_removal_only_moves_removed_backends_keys(self):
+        """The defining consistency property."""
+        ring = ConsistentHashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.pick(k) for k in keys}
+        ring.remove("b")
+        after = {k: ring.pick(k) for k in keys}
+        for key in keys:
+            if before[key] != "b":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in ("a", "c")
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=6,
+                unique=True),
+       st.text(min_size=1, max_size=16))
+@settings(max_examples=80)
+def test_pick_always_returns_a_backend(backends, key):
+    ring = ConsistentHashRing(backends)
+    assert ring.pick(key) in backends
+
+
+class TestBackendSelectAndNF:
+    def test_annotates_backend(self, packets):
+        select = BackendSelect(ConsistentHashRing(["x", "y"]))
+        from repro.net.batch import PacketBatch
+        select.push(PacketBatch(packets))
+        assert all("lb_backend" in p.annotations for p in packets)
+
+    def test_flow_stickiness(self, generator):
+        lb = LoadBalancer(backends=["x", "y", "z"])
+        out = lb.process_packets(generator.packets(64))
+        by_flow = {}
+        for packet in out:
+            flow = packet.five_tuple()
+            backend = packet.annotations["lb_backend"]
+            assert by_flow.setdefault(flow, backend) == backend
+
+    def test_signature_keyed_by_pool(self):
+        ring = ConsistentHashRing(["a"])
+        assert BackendSelect(ring, pool_id="p").signature() == \
+            BackendSelect(ring, pool_id="p").signature()
+
+    def test_lb_never_drops_or_rewrites(self, generator):
+        lb = LoadBalancer()
+        packets = list(generator.packets(16))
+        wire_before = [p.to_bytes() for p in packets]
+        out = lb.process_packets(packets)
+        assert len(out) == 16
+        assert [p.to_bytes() for p in out] == wire_before

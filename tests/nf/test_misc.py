@@ -1,0 +1,108 @@
+"""Unit tests for probe, proxy, and WAN optimizer NFs."""
+
+import pytest
+
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+from repro.nf.misc import (
+    ContentRewrite,
+    DedupCompress,
+    Probe,
+    Proxy,
+    WANOptimizer,
+)
+
+
+class TestProbe:
+    def test_transparent(self, generator):
+        probe = Probe()
+        packets = list(generator.packets(8))
+        wire = [p.to_bytes() for p in packets]
+        out = probe.process_packets(packets)
+        assert [p.to_bytes() for p in out] == wire
+
+    def test_counts(self, generator):
+        probe = Probe()
+        probe.process_packets(generator.packets(8))
+        counters = [e for e in probe.graph.elements().values()
+                    if e.kind == "Counter"]
+        assert counters[0].count == 8
+
+
+class TestProxy:
+    def test_rewrite_preserves_length(self):
+        rewrite = ContentRewrite()
+        packet = Packet(payload=b"header X-Forwarded-For: unknown end")
+        before = len(packet.payload)
+        rewrite.push(PacketBatch([packet]))
+        assert len(packet.payload) == before
+        assert b"proxied" in packet.payload
+        assert rewrite.rewrites == 1
+
+    def test_non_matching_payload_untouched(self):
+        rewrite = ContentRewrite()
+        packet = Packet(payload=b"nothing to see")
+        rewrite.push(PacketBatch([packet]))
+        assert packet.payload == b"nothing to see"
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ContentRewrite(needle=b"ab", replacement=b"abc")
+
+    def test_proxy_nf_end_to_end(self):
+        proxy = Proxy()
+        packet = Packet(payload=b"X-Forwarded-For: unknown")
+        out = proxy.process_packets([packet])
+        assert b"X-Forwarded-For: proxied" in out[0].payload
+
+
+class TestWANOptimizer:
+    def test_first_copy_compressed(self):
+        dedup = DedupCompress()
+        packet = Packet(payload=b"A" * 200)  # highly compressible
+        dedup.push(PacketBatch([packet]))
+        assert packet.payload.startswith(b"\x00ZLIB")
+        assert len(packet.payload) < 200
+        assert dedup.bytes_saved > 0
+
+    def test_duplicate_replaced_by_reference(self):
+        dedup = DedupCompress()
+        first = Packet(payload=b"repeated payload content" * 4)
+        second = Packet(payload=b"repeated payload content" * 4)
+        dedup.push(PacketBatch([first]))
+        dedup.push(PacketBatch([second]))
+        assert second.payload.startswith(DedupCompress._MAGIC)
+        assert dedup.dedup_hits == 1
+
+    def test_suppress_duplicates_drops(self):
+        dedup = DedupCompress(suppress_duplicates=True)
+        first = Packet(payload=b"same bytes here 123456")
+        second = Packet(payload=b"same bytes here 123456")
+        dedup.push(PacketBatch([first]))
+        out = dedup.push(PacketBatch([second]))
+        assert second.dropped
+        assert len(out[0].live_packets) == 0
+
+    def test_empty_payload_passthrough(self):
+        dedup = DedupCompress()
+        packet = Packet(payload=b"")
+        out = dedup.push(PacketBatch([packet]))
+        assert len(out[0]) == 1
+
+    def test_incompressible_payload_kept_raw(self):
+        import os
+        dedup = DedupCompress()
+        random_bytes = bytes(range(256))[:64]  # short, poorly compressible
+        packet = Packet(payload=random_bytes)
+        dedup.push(PacketBatch([packet]))
+        # Either compressed (if it shrank) or untouched; never grown.
+        assert len(packet.payload) <= len(random_bytes) + 5
+
+    def test_wanopt_nf_stateful(self):
+        assert DedupCompress.is_stateful
+        assert not DedupCompress.offloadable
+
+    def test_wanopt_nf_end_to_end(self, generator):
+        wanopt = WANOptimizer()
+        out = wanopt.process_packets(generator.packets(8))
+        assert len(out) == 8

@@ -1,0 +1,84 @@
+"""Unit tests for the NAT."""
+
+import pytest
+
+from repro.net.batch import PacketBatch
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.nf.nat import NatRewrite, NetworkAddressTranslator
+
+
+def outbound(src="192.168.1.10", sport=5555, dst="8.8.8.8", dport=53):
+    return Packet(ip=IPv4Header(src=src, dst=dst),
+                  l4=UDPHeader(src_port=sport, dst_port=dport))
+
+
+class TestNatRewrite:
+    def test_outbound_snat(self):
+        nat = NatRewrite(public_ip="203.0.113.1", port_base=30000)
+        packet = outbound()
+        nat.push(PacketBatch([packet]))
+        assert packet.ip.src == "203.0.113.1"
+        assert packet.l4.src_port == 30000
+        assert packet.annotations["nat"] == "snat"
+
+    def test_same_flow_keeps_binding(self):
+        nat = NatRewrite(port_base=30000)
+        a, b = outbound(), outbound()
+        nat.push(PacketBatch([a]))
+        nat.push(PacketBatch([b]))
+        assert a.l4.src_port == b.l4.src_port
+        assert nat.binding_count == 1
+
+    def test_distinct_flows_get_distinct_ports(self):
+        nat = NatRewrite(port_base=30000)
+        a = outbound(sport=1)
+        b = outbound(sport=2)
+        nat.push(PacketBatch([a, b]))
+        assert a.l4.src_port != b.l4.src_port
+        assert nat.binding_count == 2
+
+    def test_inbound_reply_translated_back(self):
+        nat = NatRewrite(public_ip="203.0.113.1", port_base=30000)
+        out_packet = outbound(src="192.168.1.10", sport=7777)
+        nat.push(PacketBatch([out_packet]))
+        reply = Packet(
+            ip=IPv4Header(src="8.8.8.8", dst="203.0.113.1"),
+            l4=UDPHeader(src_port=53, dst_port=out_packet.l4.src_port),
+        )
+        nat.push(PacketBatch([reply]))
+        assert reply.ip.dst == "192.168.1.10"
+        assert reply.l4.dst_port == 7777
+        assert reply.annotations["nat"] == "dnat"
+
+    def test_inbound_without_binding_annotated(self):
+        nat = NatRewrite(public_ip="203.0.113.1")
+        stray = Packet(
+            ip=IPv4Header(src="8.8.8.8", dst="203.0.113.1"),
+            l4=UDPHeader(src_port=53, dst_port=44444),
+        )
+        nat.push(PacketBatch([stray]))
+        assert stray.annotations["nat"] == "no-binding"
+
+    def test_non_ipv4_passthrough(self):
+        nat = NatRewrite()
+        packet = Packet(ip=None, l4=None)
+        out = nat.push(PacketBatch([packet]))
+        assert len(out[0]) == 1
+
+    def test_stateful_and_not_offloadable(self):
+        assert NatRewrite.is_stateful
+        assert not NatRewrite.offloadable
+
+    def test_port_pool_exhaustion(self):
+        nat = NatRewrite(port_base=65535)
+        nat.push(PacketBatch([outbound(sport=1)]))
+        with pytest.raises(RuntimeError):
+            nat.push(PacketBatch([outbound(sport=2)]))
+
+
+class TestNatNF:
+    def test_translates_generated_traffic(self, generator):
+        nat = NetworkAddressTranslator()
+        out = nat.process_packets(generator.packets(16))
+        assert len(out) == 16
+        assert all(p.ip.src == "203.0.113.1" for p in out)

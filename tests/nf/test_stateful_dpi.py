@@ -1,0 +1,135 @@
+"""Tests for cross-packet stateful DPI."""
+
+import pytest
+
+from repro.net.batch import PacketBatch
+from repro.net.packet import IPPROTO_TCP, IPv4Header, Packet, TCPHeader
+from repro.nf.dpi import PatternMatch
+from repro.nf.stateful_dpi import StatefulIDS, StatefulPatternMatch
+
+
+def flow_packet(payload, seqno, sport=4242, tcp_seq=None):
+    """A TCP segment; ``tcp_seq`` defaults to contiguous byte offsets
+    implied by calling with in-order payloads (callers pass explicit
+    offsets for out-of-order cases)."""
+    return Packet(
+        ip=IPv4Header(src="10.0.0.1", dst="10.0.0.2",
+                      protocol=IPPROTO_TCP),
+        l4=TCPHeader(src_port=sport, dst_port=80,
+                     seq=tcp_seq if tcp_seq is not None else 0),
+        payload=payload,
+        seqno=seqno,
+    )
+
+
+class TestCrossPacketDetection:
+    def test_split_pattern_detected(self):
+        """The defining capability: a signature split across two
+        packets of one flow is caught."""
+        matcher = StatefulPatternMatch([b"attack-signature"])
+        matcher.push(PacketBatch([flow_packet(b"prefix atta", 0,
+                                              tcp_seq=0)]))
+        out = matcher.push(PacketBatch([flow_packet(b"ck-signature!", 1,
+                                                    tcp_seq=11)]))
+        hit = out[0].packets[0]
+        assert hit.annotations.get("dpi_match")
+        assert hit.annotations.get("dpi_cross_packet")
+        assert matcher.cross_packet_matches == 1
+
+    def test_stateless_matcher_misses_split_pattern(self):
+        """Negative control: the stateless scanner cannot see it."""
+        matcher = PatternMatch([b"attack-signature"])
+        first = flow_packet(b"prefix atta", 0)
+        second = flow_packet(b"ck-signature!", 1)
+        matcher.push(PacketBatch([first]))
+        matcher.push(PacketBatch([second]))
+        assert "dpi_match" not in first.annotations
+        assert "dpi_match" not in second.annotations
+
+    def test_whole_pattern_in_one_packet_still_detected(self):
+        matcher = StatefulPatternMatch([b"evil"])
+        out = matcher.push(PacketBatch([flow_packet(b"an evil load", 0)]))
+        packet = out[0].packets[0]
+        assert packet.annotations.get("dpi_match")
+        assert "dpi_cross_packet" not in packet.annotations
+
+    def test_state_is_per_flow(self):
+        """A pattern half in flow A and half in flow B must NOT match."""
+        matcher = StatefulPatternMatch([b"attack-signature"])
+        matcher.push(PacketBatch([flow_packet(b"atta", 0, sport=1,
+                                              tcp_seq=0)]))
+        out = matcher.push(
+            PacketBatch([flow_packet(b"ck-signature", 0, sport=2,
+                                     tcp_seq=0)])
+        )
+        assert "dpi_match" not in out[0].packets[0].annotations
+
+    def test_out_of_order_segments_reassembled(self):
+        """The later TCP segment arriving first is buffered until the
+        gap fills, then both scan in order and the split signature
+        still matches."""
+        matcher = StatefulPatternMatch([b"attack-signature"])
+        matcher.push(PacketBatch([flow_packet(b"start ", 0, tcp_seq=0)]))
+        held = matcher.push(
+            PacketBatch([flow_packet(b"ck-signature", 2, tcp_seq=10)])
+        )
+        assert len(held[0]) == 0  # buffered: bytes 6..9 missing
+        assert matcher.pending_count() == 1
+        out = matcher.push(PacketBatch([flow_packet(b"atta", 1,
+                                                    tcp_seq=6)]))
+        released = out[0].packets
+        assert [p.seqno for p in released] == [1, 2]
+        assert released[1].annotations.get("dpi_match")
+        assert matcher.buffered_bytes == 0
+
+    def test_flush_releases_buffered_packets(self):
+        matcher = StatefulPatternMatch([b"zz"])
+        matcher.push(PacketBatch([flow_packet(b"data", 0, tcp_seq=0)]))
+        matcher.push(PacketBatch([flow_packet(b"more", 2, tcp_seq=50)]))
+        leftovers = matcher.flush()
+        assert [p.seqno for p in leftovers] == [2]
+        assert matcher.pending_count() == 0
+
+
+class TestStatefulIDSNF:
+    def test_drops_cross_packet_attack(self):
+        ids = StatefulIDS(patterns=[b"attack-signature"])
+        packets = [
+            flow_packet(b"benign start atta", 0, tcp_seq=0),
+            flow_packet(b"ck-signature end", 1, tcp_seq=17),
+            flow_packet(b"clean", 2, sport=9, tcp_seq=0),
+        ]
+        out = ids.process_packets(packets)
+        # The packet completing the signature is dropped; the clean
+        # flow passes (and the first segment passed before the match).
+        seqnos = sorted(p.seqno for p in out)
+        assert 1 not in seqnos
+        assert 2 in seqnos
+
+    def test_element_is_cpu_pinned(self):
+        assert StatefulPatternMatch.is_stateful
+        assert not StatefulPatternMatch.offloadable
+
+    def test_nfcompass_never_offloads_it(self):
+        from repro.core.compass import NFCompass
+        from repro.hw.platform import PlatformSpec
+        from repro.nf.base import ServiceFunctionChain
+        from repro.traffic.distributions import FixedSize
+        from repro.traffic.generator import TrafficSpec
+        spec = TrafficSpec(size_law=FixedSize(256), offered_gbps=40.0,
+                           seed=2)
+        compass = NFCompass(platform=PlatformSpec())
+        plan = compass.deploy(ServiceFunctionChain([StatefulIDS()]),
+                              spec, batch_size=32)
+        for node, ratio in \
+                plan.allocation_report.offload_ratios.items():
+            if "match" in node:
+                assert ratio == 0.0
+
+    def test_cost_model_covers_stateful_matcher(self, cost_model):
+        from repro.hw.costs import BatchStats
+        matcher = StatefulPatternMatch([b"abc"])
+        stateless = PatternMatch([b"abc"])
+        stats = BatchStats(batch_size=64, mean_packet_bytes=256.0)
+        assert cost_model.cpu_batch_seconds(matcher, stats) > \
+            cost_model.cpu_batch_seconds(stateless, stats)

@@ -1,0 +1,107 @@
+"""Property-based tests for the SFC orchestrator's staging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import parallelizable
+from repro.core.orchestrator import SFCOrchestrator
+from repro.elements.element import ActionProfile
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+
+
+class SyntheticNF(NetworkFunction):
+    """An NF with an arbitrary action profile (graph never built)."""
+
+    nf_type = "synthetic"
+
+    def __init__(self, actions: ActionProfile, name: str):
+        super().__init__(name=name)
+        self.actions = actions
+
+
+profiles = st.builds(
+    ActionProfile,
+    reads_header=st.booleans(),
+    reads_payload=st.booleans(),
+    writes_header=st.booleans(),
+    writes_payload=st.booleans(),
+    adds_removes_bits=st.booleans(),
+    drops=st.booleans(),
+)
+
+
+@st.composite
+def chains(draw):
+    count = draw(st.integers(min_value=1, max_value=7))
+    nfs = [SyntheticNF(draw(profiles), name=f"nf{i}")
+           for i in range(count)]
+    return ServiceFunctionChain(nfs, name="synthetic")
+
+
+@given(sfc=chains())
+@settings(max_examples=150)
+def test_every_nf_placed_exactly_once(sfc):
+    plan = SFCOrchestrator().analyze(sfc)
+    placed = [nf for stage in plan.stages for nf in stage]
+    assert sorted(nf.name for nf in placed) == \
+        sorted(nf.name for nf in sfc.nfs)
+
+
+@given(sfc=chains())
+@settings(max_examples=150)
+def test_effective_length_never_exceeds_chain_length(sfc):
+    plan = SFCOrchestrator().analyze(sfc)
+    assert 1 <= plan.effective_length <= sfc.length
+
+
+@given(sfc=chains())
+@settings(max_examples=150)
+def test_stage_mates_satisfy_ordered_criterion(sfc):
+    """Within a stage, every earlier-in-SFC member is parallelizable
+    with every later member (the Table III ordered verdict)."""
+    plan = SFCOrchestrator().analyze(sfc)
+    order = {nf.name: index for index, nf in enumerate(sfc.nfs)}
+    for stage in plan.stages:
+        members = sorted(stage, key=lambda nf: order[nf.name])
+        for i, former in enumerate(members):
+            for later in members[i + 1:]:
+                assert parallelizable(former.actions, later.actions)
+
+
+@given(sfc=chains())
+@settings(max_examples=150)
+def test_conflicting_nfs_never_share_or_invert_stages(sfc):
+    """If former conflicts with later (in SFC order), the later NF is
+    placed in a strictly later stage."""
+    plan = SFCOrchestrator().analyze(sfc)
+    stage_of = {}
+    for index, stage in enumerate(plan.stages):
+        for nf in stage:
+            stage_of[nf.name] = index
+    for i, former in enumerate(sfc.nfs):
+        for later in sfc.nfs[i + 1:]:
+            if not parallelizable(former.actions, later.actions):
+                assert stage_of[later.name] > stage_of[former.name]
+
+
+@given(sfc=chains(), max_width=st.integers(min_value=1, max_value=3))
+@settings(max_examples=100)
+def test_max_width_respected(sfc, max_width):
+    plan = SFCOrchestrator().analyze(sfc, max_width=max_width)
+    assert all(len(stage) <= max_width for stage in plan.stages)
+
+
+@given(sfc=chains())
+@settings(max_examples=100)
+def test_sfc_order_preserved_within_and_across_stages(sfc):
+    """Stages respect the chain's order: an NF never lands in an
+    earlier stage than a predecessor it conflicts with, and the plan
+    concatenation is a permutation that only reorders independent
+    NFs."""
+    plan = SFCOrchestrator().analyze(sfc)
+    order = {nf.name: index for index, nf in enumerate(sfc.nfs)}
+    previous_min = -1
+    for stage in plan.stages:
+        stage_min = min(order[nf.name] for nf in stage)
+        assert stage_min > previous_min
+        previous_min = stage_min

@@ -1,0 +1,92 @@
+"""Unit tests for placements, mappings, and deployments."""
+
+import pytest
+
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.sim.mapping import Deployment, Mapping, Placement
+
+
+@pytest.fixture
+def graph():
+    return ServiceFunctionChain([make_nf("ipsec")]).concatenated_graph()
+
+
+class TestPlacement:
+    def test_cpu_only_default(self):
+        placement = Placement()
+        assert not placement.uses_gpu
+        assert not placement.gpu_only
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(offload_ratio=1.5)
+
+    def test_offload_requires_gpu(self):
+        with pytest.raises(ValueError):
+            Placement(offload_ratio=0.5, gpu_processor=None)
+
+    def test_cpu_share_requires_cpu(self):
+        with pytest.raises(ValueError):
+            Placement(cpu_processor=None, gpu_processor="gpu0",
+                      offload_ratio=0.5)
+
+    def test_gpu_only(self):
+        placement = Placement(gpu_processor="gpu0", offload_ratio=1.0)
+        assert placement.uses_gpu
+        assert placement.gpu_only
+
+
+class TestMapping:
+    def test_all_cpu_round_robin(self, graph):
+        mapping = Mapping.all_cpu(graph, cores=["cpu0", "cpu1"])
+        cores = {p.cpu_processor for _n, p in mapping.items()}
+        assert cores == {"cpu0", "cpu1"}
+        mapping.validate_against(graph)
+
+    def test_fixed_ratio_offloads_offloadables_only(self, graph):
+        mapping = Mapping.fixed_ratio(graph, 0.5)
+        offloaded = [n for n, p in mapping.items() if p.uses_gpu]
+        assert offloaded
+        for node in offloaded:
+            assert graph.element(node).offloadable
+
+    def test_all_gpu_is_full_ratio(self, graph):
+        mapping = Mapping.all_gpu(graph)
+        for node, placement in mapping.items():
+            if placement.uses_gpu:
+                assert placement.offload_ratio == 1.0
+
+    def test_validate_rejects_missing_nodes(self, graph):
+        with pytest.raises(ValueError):
+            Mapping({}).validate_against(graph)
+
+    def test_validate_rejects_unknown_nodes(self, graph):
+        mapping = Mapping.all_cpu(graph)
+        mapping.set("ghost", Placement())
+        with pytest.raises(ValueError):
+            mapping.validate_against(graph)
+
+    def test_validate_rejects_offloading_non_offloadable(self, graph):
+        mapping = Mapping.all_cpu(graph)
+        rx = graph.sources()[0]
+        mapping.set(rx, Placement(gpu_processor="gpu0", offload_ratio=0.5))
+        with pytest.raises(ValueError):
+            mapping.validate_against(graph)
+
+    def test_processors_used(self, graph):
+        mapping = Mapping.fixed_ratio(graph, 0.5, cores=["cpu0"],
+                                      gpus=["gpu1"])
+        used = mapping.processors_used()
+        assert "cpu0" in used
+        assert "gpu1" in used
+
+
+class TestDeployment:
+    def test_validate_composes(self, graph):
+        deployment = Deployment(graph, Mapping.all_cpu(graph))
+        deployment.validate()
+
+    def test_invalid_deployment_caught(self, graph):
+        with pytest.raises(ValueError):
+            Deployment(graph, Mapping({})).validate()

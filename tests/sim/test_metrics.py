@@ -1,0 +1,100 @@
+"""Unit tests for simulation metrics."""
+
+import pytest
+
+from repro.sim.metrics import (
+    LatencyStats,
+    OverheadBreakdown,
+    ThroughputLatencyReport,
+)
+
+
+class TestLatencyStats:
+    def test_empty_samples(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.mean == 0.0
+        assert stats.samples == 0
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_samples([0.5])
+        assert stats.mean == 0.5
+        assert stats.p50 == 0.5
+        assert stats.p99 == 0.5
+        assert stats.variance == 0.0
+
+    def test_percentile_ordering(self):
+        stats = LatencyStats.from_samples([i / 100 for i in range(100)])
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
+
+    def test_mean_and_variance(self):
+        stats = LatencyStats.from_samples([1.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.variance == 1.0
+
+    def test_unit_conversions(self):
+        stats = LatencyStats.from_samples([0.001])
+        assert stats.mean_ms == pytest.approx(1.0)
+        assert stats.mean_us == pytest.approx(1000.0)
+
+
+class TestOverheadBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = OverheadBreakdown(cpu_compute=3.0, gpu_kernel=1.0,
+                                      batch_split=1.0)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_has_no_fractions(self):
+        assert OverheadBreakdown().fractions() == {}
+
+    def test_reorganization_fraction(self):
+        breakdown = OverheadBreakdown(cpu_compute=2.0, batch_split=1.0,
+                                      xor_merge=1.0)
+        assert breakdown.reorganization_fraction == pytest.approx(0.5)
+
+    def test_offloading_fraction(self):
+        breakdown = OverheadBreakdown(cpu_compute=2.0, kernel_launch=1.0,
+                                      pcie_transfer=1.0)
+        assert breakdown.offloading_fraction == pytest.approx(0.5)
+
+
+class TestReport:
+    def _report(self, **overrides):
+        defaults = dict(
+            name="test",
+            offered_gbps=10.0,
+            delivered_packets=1000.0,
+            delivered_bytes=64_000.0,
+            dropped_packets=0.0,
+            makespan_seconds=1e-3,
+            latency=LatencyStats.from_samples([1e-4]),
+        )
+        defaults.update(overrides)
+        return ThroughputLatencyReport(**defaults)
+
+    def test_throughput_gbps(self):
+        report = self._report()
+        assert report.throughput_gbps == pytest.approx(
+            64_000 * 8 / 1e-3 / 1e9)
+
+    def test_throughput_mpps(self):
+        assert self._report().throughput_mpps == pytest.approx(1.0)
+
+    def test_zero_makespan_safe(self):
+        report = self._report(makespan_seconds=0.0)
+        assert report.throughput_gbps == 0.0
+        assert report.utilization() == {}
+
+    def test_drop_rate(self):
+        report = self._report(dropped_packets=1000.0)
+        assert report.drop_rate == pytest.approx(0.5)
+
+    def test_drop_rate_empty(self):
+        report = self._report(delivered_packets=0.0, dropped_packets=0.0)
+        assert report.drop_rate == 0.0
+
+    def test_utilization(self):
+        report = self._report(processor_busy_seconds={"cpu0": 5e-4})
+        assert report.utilization()["cpu0"] == pytest.approx(0.5)
+
+    def test_summary_mentions_name(self):
+        assert "test" in self._report().summary()

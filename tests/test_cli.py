@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_nf_list(self, capsys):
+        assert main(["nf", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "firewall" in out
+        assert "ipsec" in out
+        assert "Table II" in out
+
+    def test_elements(self, capsys):
+        assert main(["elements"]) == 0
+        out = capsys.readouterr().out
+        assert "FromDevice" in out
+        assert "AclClassify" in out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "fig17" in out
+
+
+class TestRun:
+    def test_experiments_run_tables(self, capsys):
+        assert main(["experiments", "run", "tables"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_experiments_run_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "run", "fig99"])
+
+    def test_deploy(self, capsys):
+        code = main(["deploy", "-c", "firewall,lb",
+                     "--packet-size", "128", "--batches", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NFCompass plan" in out
+        assert "Gbps" in out
+
+    def test_deploy_unknown_nf(self, capsys):
+        assert main(["deploy", "-c", "warpdrive"]) == 2
+        assert "unknown NF" in capsys.readouterr().err
+
+    def test_config_run(self, tmp_path, capsys):
+        config = tmp_path / "pipeline.click"
+        config.write_text("""
+            src :: FromDevice(eth0);
+            c   :: Counter();
+            dst :: ToDevice(eth1);
+            src -> c -> dst;
+        """)
+        assert main(["config", "run", str(config),
+                     "--batches", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "ElementGraph" in out
+        assert "Gbps" in out
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

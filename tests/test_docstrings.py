@@ -1,0 +1,44 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(_walk_modules())
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export: documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name} has undocumented public items: {undocumented}"
+    )

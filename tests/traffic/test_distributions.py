@@ -1,0 +1,89 @@
+"""Unit tests for packet-size laws."""
+
+import random
+
+import pytest
+
+from repro.traffic.distributions import (
+    EmpiricalSize,
+    FixedSize,
+    IMIXSize,
+    IMIX_MIX,
+    UniformSize,
+)
+
+
+class TestFixedSize:
+    def test_sample_is_constant(self):
+        law = FixedSize(128)
+        rng = random.Random(0)
+        assert all(law.sample(rng) == 128 for _ in range(10))
+
+    def test_mean(self):
+        assert FixedSize(600).mean() == 600.0
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FixedSize(32)
+        with pytest.raises(ValueError):
+            FixedSize(2000)
+
+
+class TestUniformSize:
+    def test_samples_within_bounds(self):
+        law = UniformSize(100, 200)
+        rng = random.Random(1)
+        samples = [law.sample(rng) for _ in range(200)]
+        assert all(100 <= s <= 200 for s in samples)
+
+    def test_mean(self):
+        assert UniformSize(100, 200).mean() == 150.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformSize(200, 100)
+        with pytest.raises(ValueError):
+            UniformSize(10, 100)
+
+
+class TestEmpirical:
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalSize([])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalSize([(0.0, 64)])
+
+    def test_single_component(self):
+        law = EmpiricalSize([(1.0, 500)])
+        rng = random.Random(2)
+        assert law.sample(rng) == 500
+
+    def test_weights_normalized(self):
+        law = EmpiricalSize([(2.0, 64), (2.0, 128)])
+        assert law.mean() == 96.0
+
+
+class TestIMIX:
+    def test_component_sizes(self):
+        law = IMIXSize()
+        rng = random.Random(3)
+        sizes = {law.sample(rng) for _ in range(2000)}
+        assert sizes == {64, 536, 1360}
+
+    def test_mix_matches_paper_fractions(self):
+        law = IMIXSize()
+        rng = random.Random(4)
+        samples = [law.sample(rng) for _ in range(40_000)]
+        small = samples.count(64) / len(samples)
+        mid = samples.count(536) / len(samples)
+        large = samples.count(1360) / len(samples)
+        # 61.22 % / 23.47 % / 15.31 % within sampling tolerance.
+        assert abs(small - 0.6122) < 0.02
+        assert abs(mid - 0.2347) < 0.02
+        assert abs(large - 0.1531) < 0.02
+
+    def test_mean_matches_mixture(self):
+        expected = sum(w * s for w, s in IMIX_MIX)
+        assert abs(IMIXSize().mean() - expected) < 1e-9

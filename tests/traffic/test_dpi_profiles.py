@@ -1,0 +1,78 @@
+"""Unit tests for DPI pattern sets and payload profiles."""
+
+import random
+
+import pytest
+
+from repro.traffic.dpi_profiles import (
+    MatchProfile,
+    make_pattern_set,
+    make_payload,
+    payload_maker,
+)
+
+
+class TestPatternSet:
+    def test_count(self):
+        assert len(make_pattern_set(16)) == 16
+
+    def test_distinct(self):
+        patterns = make_pattern_set(64)
+        assert len(set(patterns)) == 64
+
+    def test_lengths_in_bounds(self):
+        patterns = make_pattern_set(32, min_len=5, max_len=9)
+        assert all(5 <= len(p) <= 9 for p in patterns)
+
+    def test_deterministic(self):
+        assert make_pattern_set(8, seed=3) == make_pattern_set(8, seed=3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_pattern_set(0)
+        with pytest.raises(ValueError):
+            make_pattern_set(4, min_len=9, max_len=3)
+
+
+class TestPayloads:
+    def setup_method(self):
+        self.patterns = make_pattern_set(16, seed=7)
+        self.rng = random.Random(0)
+
+    def test_no_match_payload_contains_no_pattern(self):
+        payload = make_payload(self.rng, 512, self.patterns,
+                               MatchProfile.NO_MATCH)
+        assert all(pattern not in payload for pattern in self.patterns)
+
+    def test_full_match_payload_is_all_patterns(self):
+        payload = make_payload(self.rng, 256, self.patterns,
+                               MatchProfile.FULL_MATCH)
+        assert len(payload) == 256
+        assert any(pattern in payload for pattern in self.patterns)
+
+    def test_partial_match_contains_some_pattern_bytes(self):
+        payload = make_payload(self.rng, 512, self.patterns,
+                               MatchProfile.PARTIAL_MATCH)
+        assert len(payload) == 512
+        # Filler byte still present and pattern bytes present.
+        assert 0x7E in payload
+
+    def test_requested_length_respected(self):
+        for profile in MatchProfile:
+            payload = make_payload(self.rng, 100, self.patterns, profile)
+            assert len(payload) == 100
+
+    def test_zero_length(self):
+        assert make_payload(self.rng, 0, self.patterns,
+                            MatchProfile.FULL_MATCH) == b""
+
+    def test_match_density_values(self):
+        assert MatchProfile.NO_MATCH.match_density == 0.0
+        assert MatchProfile.FULL_MATCH.match_density == 1.0
+        assert 0 < MatchProfile.PARTIAL_MATCH.match_density < 1
+
+    def test_payload_maker_adapter(self):
+        maker = payload_maker(self.patterns, MatchProfile.NO_MATCH)
+        payload = maker(self.rng, 64)
+        assert len(payload) == 64
+        assert all(p not in payload for p in self.patterns)
