@@ -7,6 +7,7 @@ Entry points::
     repro experiments list             # available paper harnesses
     repro experiments run fig06        # regenerate one figure
     repro deploy -c firewall,ids,lb    # NFCompass a chain and simulate
+    repro validate --chains 25 --seed 0  # differential + oracle checks
     repro config run my.click          # parse + simulate a Click config
 
 Also usable as ``python -m repro ...``.
@@ -73,6 +74,31 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--algorithm", choices=("kl", "agglomerative"),
                         default="kl")
     deploy.add_argument("--seed", type=int, default=1)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="differential validation, partition oracle and engine "
+             "invariant checks",
+    )
+    validate.add_argument("--chains", type=int, default=10,
+                          help="random chains to differential-check")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--packets", type=int, default=96,
+                          help="trace length per chain")
+    validate.add_argument("--batch", type=int, default=32)
+    validate.add_argument("--max-len", type=int, default=6,
+                          help="maximum NFs per random chain")
+    validate.add_argument("--partition-graphs", type=int, default=10,
+                          help="random graphs for the brute-force "
+                               "partition oracle")
+    validate.add_argument("--partition-nodes", type=int, default=12,
+                          help="maximum nodes per oracle graph (2^n "
+                               "enumeration)")
+    validate.add_argument("--engine-runs", type=int, default=3,
+                          help="simulations run under the "
+                               "ValidatingRecorder")
+    validate.add_argument("-v", "--verbose", action="store_true",
+                          help="print every check, not just failures")
 
     config = subparsers.add_parser(
         "config", help="work with Click-style configuration files"
@@ -175,6 +201,107 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    """Run the three validation oracles; exit 1 on any violation."""
+    import random
+
+    from repro.nf.base import ServiceFunctionChain
+    from repro.nf.catalog import make_nf
+    from repro.validate import (
+        MAX_BRUTE_FORCE_NODES,
+        ValidatingRecorder,
+        audit_partitioners,
+        random_chain_spec,
+        random_partition_graph,
+        random_traffic_spec,
+        run_differential,
+    )
+
+    if args.partition_nodes > MAX_BRUTE_FORCE_NODES:
+        print(f"--partition-nodes {args.partition_nodes} exceeds the "
+              f"brute-force enumeration limit of "
+              f"{MAX_BRUTE_FORCE_NODES}", file=sys.stderr)
+        return 2
+
+    rng = random.Random(args.seed)
+    failures = 0
+
+    print(f"[1/3] differential: {args.chains} random chains, "
+          f"{args.packets} packets each (seed {args.seed})")
+    for index in range(args.chains):
+        chain_spec = random_chain_spec(rng, max_len=args.max_len,
+                                       name=f"validate-{index}")
+        traffic = random_traffic_spec(rng)
+        algorithm = "kl" if index % 2 == 0 else "agglomerative"
+        report = run_differential(
+            chain_spec, traffic_spec=traffic,
+            packet_count=args.packets, batch_size=args.batch,
+            algorithm=algorithm,
+        )
+        if not report.ok:
+            failures += 1
+        if args.verbose or not report.ok:
+            print(report.summary())
+        elif (index + 1) % 5 == 0:
+            print(f"  ... {index + 1}/{args.chains} chains equivalent")
+
+    print(f"[2/3] partition oracle: {args.partition_graphs} random "
+          f"graphs, <= {args.partition_nodes} nodes")
+    for index in range(args.partition_graphs):
+        graph = random_partition_graph(rng,
+                                       max_nodes=args.partition_nodes)
+        audit = audit_partitioners(graph)
+        if not audit.ok:
+            failures += 1
+        if args.verbose or not audit.ok:
+            print(audit.summary())
+
+    print(f"[3/3] engine invariants: {args.engine_runs} simulated "
+          f"deployments under the ValidatingRecorder")
+    from repro.core.compass import NFCompass
+    from repro.sim.engine import BranchProfile
+    from repro.validate.invariants import InvariantViolation
+    for index in range(args.engine_runs):
+        chain_spec = random_chain_spec(rng, max_len=args.max_len,
+                                       name=f"validate-sim-{index}")
+        traffic = random_traffic_spec(rng)
+        sfc = ServiceFunctionChain(
+            [make_nf(t, name=f"{chain_spec.name}.{i}.{t}")
+             for i, t in enumerate(chain_spec.nf_types)],
+            name=chain_spec.name,
+        )
+        compass = NFCompass(
+            algorithm="kl" if index % 2 == 0 else "agglomerative"
+        )
+        plan = compass.deploy(sfc, traffic, batch_size=args.batch)
+        # The measured branch profile tells the analytic engine how
+        # much traffic each edge and merge carries; without it, merge
+        # dedup is invisible and conservation trips falsely.
+        profile = BranchProfile.measure(
+            plan.deployment.graph, traffic, sample_packets=256,
+            batch_size=args.batch,
+        )
+        recorder = ValidatingRecorder(batch_size=args.batch)
+        try:
+            compass.engine.run(plan.deployment, traffic,
+                               batch_size=args.batch, batch_count=40,
+                               branch_profile=profile,
+                               recorder=recorder)
+        except InvariantViolation as violation:
+            failures += 1
+            print(f"  {chain_spec.name}: {violation}")
+        else:
+            if args.verbose:
+                print(f"  {chain_spec.name} "
+                      f"({' -> '.join(chain_spec.nf_types)}): OK")
+
+    if failures:
+        print(f"validate: {failures} check(s) FAILED")
+        return 1
+    print("validate: all checks passed")
+    return 0
+
+
 def _cmd_config_run(args) -> int:
     from repro.elements.config import parse_config
     from repro.sim.engine import BranchProfile, SimulationEngine
@@ -211,6 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiments_run(args.name, args.full)
     if args.command == "deploy":
         return _cmd_deploy(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     if args.command == "config":
         return _cmd_config_run(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -16,9 +16,15 @@ hazards over per-region (header vs payload) read/write sets:
   Table III;
 - size-changing NFs (add/remove bits) conflict with any other writer
   or payload reader: byte offsets shift, so region reasoning breaks;
-- drops are always safe: a packet dropped by either branch is dropped
-  after the merge, which matches either sequential order the paper's
-  criteria accept.
+- drops are always safe *for stateless NFs*: a packet dropped by
+  either branch is dropped after the merge, which matches either
+  sequential order the paper's criteria accept.  When the later NF is
+  stateful, a former dropper is NOT safe: the duplicated branch feeds
+  the stateful NF packets the sequential chain would have filtered
+  out, mutating its state (e.g. a NAT allocating port bindings for
+  flows an upstream IDS killed) and diverging every later translation.
+  The differential oracle in :mod:`repro.validate` mechanically checks
+  this distinction.
 """
 
 from __future__ import annotations
@@ -37,16 +43,25 @@ class Hazard(enum.Enum):
     WAW_HEADER = "waw_header"
     WAW_PAYLOAD = "waw_payload"
     SIZE_CHANGE = "size_change"
+    STATE_AFTER_DROP = "state_after_drop"
 
 
 def hazards_between(former: ActionProfile,
-                    later: ActionProfile) -> FrozenSet[Hazard]:
+                    later: ActionProfile,
+                    later_stateful: bool = False) -> FrozenSet[Hazard]:
     """Hazards preventing parallel execution of ``former`` and ``later``.
 
     ``former`` appears before ``later`` in the SFC order.  An empty
-    result means the pair is parallelizable.
+    result means the pair is parallelizable.  ``later_stateful``
+    declares that the later NF keeps cross-packet state; combined with
+    a dropping former NF this adds :attr:`Hazard.STATE_AFTER_DROP`
+    (the duplicated branch would mutate the stateful NF with packets
+    the sequential chain filters out).
     """
     hazards: Set[Hazard] = set()
+
+    if later_stateful and former.drops:
+        hazards.add(Hazard.STATE_AFTER_DROP)
 
     former_writes_header = former.writes_header or former.adds_removes_bits
     former_writes_payload = former.writes_payload or former.adds_removes_bits
@@ -74,14 +89,18 @@ def hazards_between(former: ActionProfile,
     return frozenset(hazards)
 
 
-def parallelizable(former: ActionProfile, later: ActionProfile) -> bool:
+def parallelizable(former: ActionProfile, later: ActionProfile,
+                   later_stateful: bool = False) -> bool:
     """Table III verdict for an ordered NF pair."""
-    return not hazards_between(former, later)
+    return not hazards_between(former, later,
+                               later_stateful=later_stateful)
 
 
-def explain(former: ActionProfile, later: ActionProfile) -> str:
+def explain(former: ActionProfile, later: ActionProfile,
+            later_stateful: bool = False) -> str:
     """Human-readable parallelizability explanation (for tooling)."""
-    hazards = hazards_between(former, later)
+    hazards = hazards_between(former, later,
+                              later_stateful=later_stateful)
     if not hazards:
         return "parallelizable (no RAW/WAW hazards, no size change)"
     reasons = ", ".join(sorted(h.value for h in hazards))

@@ -46,6 +46,10 @@ class AllocationReport:
     core_assignment: Dict[str, str]
     cpu_core_loads: Dict[str, float]
     node_shares: Dict[str, float]
+    #: The weighted expanded graph the partition ran on (kept so the
+    #: validation oracle in :mod:`repro.validate` can recompute the
+    #: objective and audit the partition invariants).
+    expanded: Optional[ExpandedGraph] = None
 
     def summary(self) -> str:
         offloaded = {n: r for n, r in self.offload_ratios.items() if r > 0}
@@ -115,6 +119,7 @@ class GraphTaskAllocator:
             core_assignment=core_assignment,
             cpu_core_loads=core_loads,
             node_shares=shares,
+            expanded=expanded,
         )
         return mapping, report
 

@@ -68,7 +68,10 @@ class SFCOrchestrator:
             verdict = self._override(former, later)
             if verdict is not None:
                 return verdict
-        return parallelizable(former.actions, later.actions)
+        return parallelizable(
+            former.actions, later.actions,
+            later_stateful=getattr(later, "stateful", False),
+        )
 
     def analyze(self, sfc: ServiceFunctionChain,
                 max_width: Optional[int] = None) -> ParallelPlan:
@@ -91,7 +94,8 @@ class SFCOrchestrator:
                     earliest = max(earliest, stage_of[j] + 1)
                     hazard_names = tuple(sorted(
                         h.value for h in hazards_between(
-                            sfc.nfs[j].actions, nf.actions
+                            sfc.nfs[j].actions, nf.actions,
+                            later_stateful=getattr(nf, "stateful", False),
                         )
                     ))
                     conflicts.append(

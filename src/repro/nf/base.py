@@ -32,6 +32,11 @@ class NetworkFunction:
 
     nf_type: str = "abstract"
     actions: ActionProfile = ActionProfile()
+    #: Whether the NF keeps cross-packet state (declared, so the
+    #: orchestrator can consult it without building the element graph).
+    #: :func:`repro.validate.differential.check_stateful_declaration`
+    #: cross-checks this flag against the elements' ``is_stateful``.
+    stateful: bool = False
 
     def __init__(self, name: Optional[str] = None,
                  with_io: bool = True):
@@ -88,6 +93,11 @@ class NetworkFunction:
     def reset(self) -> None:
         """Discard the cached graph (and therefore all element state)."""
         self._graph = None
+
+    def stateful_elements(self) -> List:
+        """The NF's stateful elements (builds the graph if needed)."""
+        return [element for _node, element in self.graph.elements().items()
+                if element.is_stateful]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NF {self.name} ({self.nf_type})>"

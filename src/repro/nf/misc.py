@@ -163,6 +163,7 @@ class WANOptimizer(NetworkFunction):
     actions = ActionProfile(reads_header=True, reads_payload=True,
                             writes_header=True, writes_payload=True,
                             adds_removes_bits=True, drops=True)
+    stateful = True
 
     def __init__(self, suppress_duplicates: bool = False,
                  name: Optional[str] = None, **kwargs):

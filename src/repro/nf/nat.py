@@ -105,6 +105,7 @@ class NetworkAddressTranslator(NetworkFunction):
 
     nf_type = "nat"
     actions = ActionProfile(reads_header=True, writes_header=True)
+    stateful = True
 
     def __init__(self, public_ip: str = "203.0.113.1",
                  name: Optional[str] = None, **kwargs):

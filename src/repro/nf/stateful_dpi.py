@@ -165,6 +165,7 @@ class StatefulIDS(NetworkFunction):
     nf_type = "stateful-ids"
     actions = ActionProfile(reads_header=True, reads_payload=True,
                             drops=True)
+    stateful = True
 
     def __init__(self, patterns: Optional[Sequence[bytes]] = None,
                  name: Optional[str] = None, **kwargs):

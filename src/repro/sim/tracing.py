@@ -100,6 +100,26 @@ class EventRecorder:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, list]) -> "EventRecorder":
+        """Rebuild a recorder from :meth:`to_dict` output.
+
+        Unknown keys are rejected by the event constructors, so a
+        schema drift between writer and reader fails loudly instead of
+        silently dropping fields.
+        """
+        recorder = cls()
+        recorder.node_events = [NodeEvent(**e)
+                                for e in data.get("node_events", [])]
+        recorder.batch_events = [BatchEvent(**e)
+                                 for e in data.get("batch_events", [])]
+        return recorder
+
+    @classmethod
+    def from_json(cls, text: str) -> "EventRecorder":
+        """Rebuild a recorder from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
     def summary(self, top: int = 5) -> str:
         """Human-readable digest: slowest nodes and batch latencies."""
         lines = [f"trace: {len(self.node_events)} node events over "

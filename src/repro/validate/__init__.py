@@ -1,0 +1,70 @@
+"""Differential validation and invariant checking (``repro validate``).
+
+Three oracles guard the NFCompass pipeline:
+
+- :mod:`repro.validate.differential` — golden-model differential
+  checking: the sequential chain and the reorganized/parallelized
+  deployment graph must agree packet-for-packet;
+- :mod:`repro.validate.partition_oracle` — brute-force enumeration of
+  CPU/GPU assignments on small graphs, bounding both partition
+  algorithms against the true optimum and auditing
+  ``PartitionResult`` invariants;
+- :mod:`repro.validate.invariants` — a :class:`ValidatingRecorder`
+  asserting engine invariants (monotone clocks, non-negative waits,
+  packet conservation) during every simulation run.
+
+:mod:`repro.validate.fuzz` provides the seeded random generators
+shared by the CLI and the Hypothesis property suites.
+"""
+
+from repro.validate.differential import (
+    ChainSpec,
+    DifferentialReport,
+    PacketDiff,
+    chain_state,
+    check_stateful_declaration,
+    run_differential,
+)
+from repro.validate.fuzz import (
+    DEFAULT_NF_POOL,
+    random_chain_spec,
+    random_partition_graph,
+    random_traffic_spec,
+)
+from repro.validate.invariants import (
+    InvariantViolation,
+    ValidatingRecorder,
+    verify_packet_conservation,
+)
+from repro.validate.partition_oracle import (
+    DEFAULT_BOUND_FACTORS,
+    MAX_BRUTE_FORCE_NODES,
+    OracleError,
+    PartitionAudit,
+    audit_partitioners,
+    brute_force_partition,
+    check_partition_result,
+)
+
+__all__ = [
+    "ChainSpec",
+    "DifferentialReport",
+    "PacketDiff",
+    "chain_state",
+    "check_stateful_declaration",
+    "run_differential",
+    "DEFAULT_NF_POOL",
+    "random_chain_spec",
+    "random_partition_graph",
+    "random_traffic_spec",
+    "InvariantViolation",
+    "ValidatingRecorder",
+    "verify_packet_conservation",
+    "DEFAULT_BOUND_FACTORS",
+    "MAX_BRUTE_FORCE_NODES",
+    "OracleError",
+    "PartitionAudit",
+    "audit_partitioners",
+    "brute_force_partition",
+    "check_partition_result",
+]

@@ -1,0 +1,91 @@
+"""Shared builders for test fixtures.
+
+Importable from any test module (pytest puts ``tests/`` on
+``sys.path`` when it loads ``tests/conftest.py``).  These are plain
+functions, not fixtures, so property tests, oracles, and fixtures can
+all call them with explicit parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficGenerator, TrafficSpec
+
+
+def make_traffic_spec(packet_size: int = 128, load_gbps: float = 10.0,
+                      protocol: str = "udp", seed: int = 42,
+                      **kwargs) -> TrafficSpec:
+    """A fixed-size TrafficSpec with test-friendly defaults."""
+    return TrafficSpec(size_law=FixedSize(packet_size),
+                       offered_gbps=load_gbps, protocol=protocol,
+                       seed=seed, **kwargs)
+
+
+def make_packets(spec: Optional[TrafficSpec] = None, count: int = 32):
+    """``count`` generated packets for ``spec`` (default udp spec)."""
+    generator = TrafficGenerator(spec or make_traffic_spec())
+    return list(generator.packets(count))
+
+
+def build_chain(nf_types: Sequence[str],
+                name: str = "chain",
+                nfs: Optional[Iterable[NetworkFunction]] = None
+                ) -> ServiceFunctionChain:
+    """A ServiceFunctionChain with deterministic NF names.
+
+    The ``{chain}.{index}.{type}`` naming makes node ids reproducible
+    across separate builds of the same chain — the differential
+    validator relies on this to transplant a GTA mapping from one
+    build onto another.
+    """
+    if nfs is None:
+        nfs = [make_nf(t, name=f"{name}.{i}.{t}")
+               for i, t in enumerate(nf_types)]
+    return ServiceFunctionChain(list(nfs), name=name)
+
+
+# ---------------------------------------------------------------------------
+# Weighted partition graphs (the expanded-graph schema)
+# ---------------------------------------------------------------------------
+
+def weighted_graph(nodes: Dict[str, Tuple[float, float, Optional[str]]],
+                   edges: List[Tuple[str, str, float]]) -> nx.Graph:
+    """nodes: {name: (cpu_time, gpu_time, pinned)};
+    edges: [(u, v, weight)]."""
+    graph = nx.Graph()
+    for name, (cpu_time, gpu_time, pinned) in nodes.items():
+        graph.add_node(name, cpu_time=cpu_time, gpu_time=gpu_time,
+                       pinned=pinned)
+    for u, v, weight in edges:
+        graph.add_edge(u, v, weight=weight)
+    return graph
+
+
+def offload_friendly_graph() -> nx.Graph:
+    """One heavy CPU element that is cheap on GPU, light neighbours."""
+    return weighted_graph(
+        {
+            "rx": (1.0, float("inf"), "cpu"),
+            "heavy": (100.0, 5.0, None),
+            "tx": (1.0, float("inf"), "cpu"),
+        },
+        [("rx", "heavy", 0.5), ("heavy", "tx", 0.5)],
+    )
+
+
+def cpu_friendly_graph() -> nx.Graph:
+    """Offloading never pays: GPU time and cut exceed CPU time."""
+    return weighted_graph(
+        {
+            "rx": (1.0, float("inf"), "cpu"),
+            "light": (2.0, 1.9, None),
+            "tx": (1.0, float("inf"), "cpu"),
+        },
+        [("rx", "light", 10.0), ("light", "tx", 10.0)],
+    )

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import pytest
+from builders import make_traffic_spec
 
 from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
 from repro.sim.engine import SimulationEngine
-from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficGenerator, TrafficSpec
 
 
@@ -33,13 +33,12 @@ def engine(platform) -> SimulationEngine:
 
 @pytest.fixture
 def udp_spec() -> TrafficSpec:
-    return TrafficSpec(size_law=FixedSize(128), offered_gbps=10.0, seed=42)
+    return make_traffic_spec()
 
 
 @pytest.fixture
 def tcp_spec() -> TrafficSpec:
-    return TrafficSpec(size_law=FixedSize(128), offered_gbps=10.0,
-                       protocol="tcp", seed=42)
+    return make_traffic_spec(protocol="tcp")
 
 
 @pytest.fixture

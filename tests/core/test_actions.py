@@ -61,6 +61,36 @@ class TestTableIIIRules:
         assert parallelizable(ActionProfile(), ActionProfile())
 
 
+class TestStateAfterDrop:
+    """Drops are only reorder-safe when the later NF is stateless: a
+    parallel stateful NF would update its state for packets the
+    sequential dropper never lets through."""
+
+    def test_drop_before_stateful_not_parallelizable(self):
+        assert not parallelizable(DROPPER, READ_HDR, later_stateful=True)
+        hazards = hazards_between(DROPPER, READ_HDR, later_stateful=True)
+        assert Hazard.STATE_AFTER_DROP in hazards
+
+    def test_drop_before_stateless_still_parallelizable(self):
+        assert parallelizable(DROPPER, READ_HDR, later_stateful=False)
+
+    def test_stateful_later_without_former_drop_unaffected(self):
+        assert parallelizable(READ_HDR, READ_PL, later_stateful=True)
+        assert hazards_between(READ_HDR, READ_PL,
+                               later_stateful=True) == set()
+
+    def test_explain_mentions_state_after_drop(self):
+        text = explain(DROPPER, READ_HDR, later_stateful=True)
+        assert "state_after_drop" in text
+
+    def test_catalog_ids_then_nat_serialized(self):
+        """The concrete unsound pair: IDS drops, NAT allocates port
+        bindings in arrival order."""
+        assert not parallelizable(action_profile_of("ids"),
+                                  action_profile_of("nat"),
+                                  later_stateful=True)
+
+
 class TestCatalogPairs:
     """Verdicts over the Table II NF set the paper discusses."""
 

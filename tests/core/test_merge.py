@@ -176,3 +176,65 @@ class TestXorMergeElement:
 
     def test_cost_hints_carry_branches(self):
         assert XorMerge(branch_count=4).cost_hints()["branches"] == 4.0
+
+
+class TestXorMergeEdgeCases:
+    def test_empty_batch_yields_empty_batch(self):
+        merge = XorMerge(branch_count=2)
+        out = merge.push(PacketBatch([]))
+        assert len(out[0]) == 0
+        assert merge.merged_count == 0
+
+    def test_all_packets_dropped_by_one_branch(self):
+        """An entire batch killed on one branch: every uid arrives with
+        fewer clones than branch_count and the merge drops them all."""
+        packets = [snap(Packet(payload=bytes([i]) * 8, seqno=i))
+                   for i in range(4)]
+        merge = XorMerge(branch_count=2)
+        out = merge.push(PacketBatch([p.clone() for p in packets]))
+        assert len(out[0].live_packets) == 0
+        assert merge.dropped_by_branch == 4
+
+    def test_duplicated_clones_collapse_to_one(self):
+        """branch_count clones of one uid collapse into exactly one
+        output packet — the dedup behind the packet-conservation
+        invariant."""
+        packet = snap(Packet(payload=b"payload!"))
+        merge = XorMerge(branch_count=3)
+        out = merge.push(PacketBatch([packet.clone() for _ in range(3)]))
+        uids = [p.uid for p in out[0].live_packets]
+        assert uids == [packet.uid]
+
+    def test_oracle_confirms_dedup_on_parallel_chain(self):
+        """End-to-end: the differential oracle certifies that a
+        three-way parallel stage delivers each uid exactly once."""
+        from repro.validate import ChainSpec, run_differential
+        report = run_differential(
+            ChainSpec(nf_types=("firewall", "ids", "lb"), name="m"),
+            packet_count=48, with_partition=False,
+        )
+        assert report.ok, report.summary()
+        assert not any(d.field == "copies" for d in report.packet_diffs)
+
+    def test_oracle_confirms_all_drop_branch_chain(self):
+        """End-to-end: when the dropper kills every packet, the merged
+        graph must deliver exactly what the sequential chain does —
+        nothing."""
+        from builders import make_traffic_spec
+        from repro.traffic.dpi_profiles import make_pattern_set
+        from repro.validate import ChainSpec, run_differential
+
+        pattern = make_pattern_set()[0]
+
+        def payload(rng, size):
+            return pattern + bytes(max(0, size - len(pattern)))
+
+        spec = make_traffic_spec(packet_size=256,
+                                 payload_maker=payload)
+        report = run_differential(
+            ChainSpec(nf_types=("firewall", "ids", "lb"), name="m"),
+            traffic_spec=spec, packet_count=48, with_partition=False,
+        )
+        assert report.ok, report.summary()
+        assert report.golden_delivered == 0
+        assert report.candidate_delivered == 0

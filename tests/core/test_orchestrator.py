@@ -46,6 +46,22 @@ class TestAnalysis:
         assert [nf.nf_type for nf in plan.stages[0]] == ["firewall", "ids"]
         assert [nf.nf_type for nf in plan.stages[1]] == ["ipsec"]
 
+    def test_dropper_before_stateful_nf_serialized(self, orchestrator):
+        """IDS drops; NAT is stateful (port allocation order).  The
+        STATE_AFTER_DROP hazard must keep them sequential even though
+        Table III alone would call drops safe."""
+        sfc = ServiceFunctionChain([make_nf("ids"), make_nf("nat")])
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 2
+        assert any("state_after_drop" in hazards
+                   for _f, _l, hazards in plan.conflicts)
+
+    def test_dropper_before_stateless_nf_still_parallel(
+            self, orchestrator):
+        sfc = ServiceFunctionChain([make_nf("ids"), make_nf("lb")])
+        plan = orchestrator.analyze(sfc)
+        assert plan.effective_length == 1
+
     def test_max_width_caps_stage_size(self, orchestrator):
         sfc = ServiceFunctionChain(
             [make_nf("firewall"), make_nf("ids"), make_nf("lb"),

@@ -2,6 +2,8 @@
 
 import networkx as nx
 import pytest
+from builders import cpu_friendly_graph, offload_friendly_graph, \
+    weighted_graph
 
 from repro.core.partition import (
     agglomerative_partition,
@@ -10,42 +12,14 @@ from repro.core.partition import (
 )
 
 
-def weighted_graph(nodes, edges):
-    """nodes: {name: (cpu_time, gpu_time, pinned)};
-    edges: [(u, v, weight)]."""
-    graph = nx.Graph()
-    for name, (cpu_time, gpu_time, pinned) in nodes.items():
-        graph.add_node(name, cpu_time=cpu_time, gpu_time=gpu_time,
-                       pinned=pinned)
-    for u, v, weight in edges:
-        graph.add_edge(u, v, weight=weight)
-    return graph
-
-
 @pytest.fixture
 def offload_friendly():
-    """One heavy CPU element that is cheap on GPU, light neighbours."""
-    return weighted_graph(
-        {
-            "rx": (1.0, float("inf"), "cpu"),
-            "heavy": (100.0, 5.0, None),
-            "tx": (1.0, float("inf"), "cpu"),
-        },
-        [("rx", "heavy", 0.5), ("heavy", "tx", 0.5)],
-    )
+    return offload_friendly_graph()
 
 
 @pytest.fixture
 def cpu_friendly():
-    """Offloading never pays: GPU time and cut exceed CPU time."""
-    return weighted_graph(
-        {
-            "rx": (1.0, float("inf"), "cpu"),
-            "light": (2.0, 1.9, None),
-            "tx": (1.0, float("inf"), "cpu"),
-        },
-        [("rx", "light", 10.0), ("light", "tx", 10.0)],
-    )
+    return cpu_friendly_graph()
 
 
 class TestEvaluate:

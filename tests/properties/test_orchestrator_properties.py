@@ -1,5 +1,6 @@
 """Property-based tests for the SFC orchestrator's staging."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -7,6 +8,8 @@ from repro.core.actions import parallelizable
 from repro.core.orchestrator import SFCOrchestrator
 from repro.elements.element import ActionProfile
 from repro.nf.base import NetworkFunction, ServiceFunctionChain
+
+pytestmark = pytest.mark.property
 
 
 class SyntheticNF(NetworkFunction):

@@ -12,6 +12,7 @@ the invariants the architecture promises:
 """
 
 import networkx as nx
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -28,6 +29,8 @@ from repro.sim.engine import SimulationEngine, _Resources
 from repro.sim.mapping import Deployment, Mapping
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficGenerator, TrafficSpec
+
+pytestmark = pytest.mark.property
 
 #: NFs safe for random chaining (stateless or idempotent behaviour
 #: under cloned packets).

@@ -75,3 +75,30 @@ class TestAnalysis:
         text = recorder.summary()
         assert "node events" in text
         assert "batch latency" in text
+
+
+class TestRoundTrip:
+    def test_from_dict_rebuilds_events(self, traced_run):
+        recorder, _report, _graph = traced_run
+        rebuilt = EventRecorder.from_dict(recorder.to_dict())
+        assert rebuilt.node_events == recorder.node_events
+        assert rebuilt.batch_events == recorder.batch_events
+
+    def test_from_json_rebuilds_analysis(self, traced_run):
+        recorder, _report, _graph = traced_run
+        rebuilt = EventRecorder.from_json(recorder.to_json(indent=2))
+        assert rebuilt.node_spans() == recorder.node_spans()
+        assert rebuilt.bottleneck_node() == recorder.bottleneck_node()
+        assert rebuilt.to_json() == recorder.to_json()
+
+    def test_empty_recorder_roundtrips(self):
+        rebuilt = EventRecorder.from_json(EventRecorder().to_json())
+        assert rebuilt.node_events == [] and rebuilt.batch_events == []
+
+    def test_schema_drift_fails_loudly(self):
+        with pytest.raises(TypeError):
+            EventRecorder.from_dict(
+                {"node_events": [{"batch_index": 0, "node_id": "n",
+                                  "ready": 0.0, "completion": 1.0,
+                                  "packets": 8.0, "surprise": 1}]}
+            )

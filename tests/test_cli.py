@@ -64,3 +64,25 @@ class TestRun:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        code = main(["validate", "--chains", "3", "--seed", "0",
+                     "--packets", "48", "--partition-graphs", "3",
+                     "--partition-nodes", "8", "--engine-runs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "differential" in out
+        assert "partition oracle" in out
+        assert "all checks passed" in out
+
+    def test_validate_verbose_prints_every_check(self, capsys):
+        code = main(["validate", "--chains", "1", "--seed", "2",
+                     "--packets", "32", "--partition-graphs", "1",
+                     "--partition-nodes", "6", "--engine-runs", "1",
+                     "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+        assert "partition oracle[" in out
