@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Microbenchmark: event kernel vs the frozen pre-refactor engine.
+
+Replays identical scenarios through :class:`repro.sim.SimulationEngine`
+(the event kernel) and :class:`repro.sim.legacy.LegacySimulationEngine`
+(the pre-refactor loop kept verbatim), measured in the same process
+with ``time.perf_counter``, and writes a machine-readable report to
+``BENCH_engine.json`` at the repository root.
+
+Scenarios scale from 200 to 5000 batches; the large scenario pushes
+5000 batches through a parallelized multi-GPU graph of 25 elements.
+Each scenario also times a *reused* session (the kernel's second-run
+path, where per-deployment invariants are already cached) and checks
+report parity between the two engines before trusting the timings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out P]
+
+``--quick`` runs only the small scenario (CI smoke); the full run is
+what produces the committed ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.orchestrator import SFCOrchestrator  # noqa: E402
+from repro.elements.offload import OffloadableElement  # noqa: E402
+from repro.nf.base import ServiceFunctionChain  # noqa: E402
+from repro.nf.catalog import make_nf  # noqa: E402
+from repro.sim.engine import BranchProfile, SimulationEngine  # noqa: E402
+from repro.sim.legacy import LegacySimulationEngine  # noqa: E402
+from repro.sim.mapping import Deployment, Mapping, Placement  # noqa: E402
+from repro.sim.tracing import EventRecorder  # noqa: E402
+from repro.traffic.distributions import FixedSize  # noqa: E402
+from repro.traffic.generator import TrafficSpec  # noqa: E402
+
+REL_TOLERANCE = 1e-9
+
+
+def _multi_gpu_mapping(graph, ratio=0.7, cores=6, gpus=2):
+    placements = {}
+    core_index = 0
+    gpu_index = 0
+    for node in graph.topological_order():
+        element = graph.element(node)
+        core = f"cpu{core_index % cores}"
+        core_index += 1
+        if isinstance(element, OffloadableElement) and element.offloadable:
+            placements[node] = Placement(
+                cpu_processor=core,
+                gpu_processor=f"gpu{gpu_index % gpus}",
+                offload_ratio=ratio,
+            )
+            gpu_index += 1
+        else:
+            placements[node] = Placement(cpu_processor=core)
+    return Mapping(placements)
+
+
+def small_scenario():
+    spec = TrafficSpec(size_law=FixedSize(128), offered_gbps=80.0,
+                       seed=13)
+    graph = ServiceFunctionChain(
+        [make_nf(t) for t in ("firewall", "ids")]
+    ).concatenated_graph()
+    mapping = Mapping.fixed_ratio(graph, 0.5,
+                                  cores=["cpu0", "cpu1", "cpu2"],
+                                  gpus=["gpu0"])
+    deployment = Deployment(graph, mapping, persistent_kernel=True,
+                            name="bench-small")
+    return deployment, spec, 32, 200
+
+
+def medium_scenario():
+    spec = TrafficSpec(size_law=FixedSize(192), offered_gbps=80.0,
+                       seed=17)
+    sfc = ServiceFunctionChain(
+        [make_nf(t) for t in ("firewall", "ids", "nat")]
+    )
+    _plan, graph = SFCOrchestrator().parallelize(sfc)
+    deployment = Deployment(graph, _multi_gpu_mapping(graph, ratio=0.6),
+                            persistent_kernel=True, name="bench-medium")
+    return deployment, spec, 64, 1000
+
+
+def large_scenario():
+    spec = TrafficSpec(size_law=FixedSize(256), offered_gbps=120.0,
+                       seed=19)
+    sfc = ServiceFunctionChain(
+        [make_nf(t) for t in ("firewall", "ids", "nat", "ipsec", "dpi")]
+    )
+    _plan, graph = SFCOrchestrator().parallelize(sfc)
+    deployment = Deployment(graph, _multi_gpu_mapping(graph, ratio=0.7),
+                            persistent_kernel=True, name="bench-large")
+    node_count = len(graph.topological_order())
+    assert node_count >= 12, f"large graph too small: {node_count} nodes"
+    return deployment, spec, 64, 5000
+
+
+SCENARIOS = [
+    ("small", small_scenario),
+    ("medium", medium_scenario),
+    ("large", large_scenario),
+]
+
+
+def _parity_ok(new, old):
+    def close(a, b):
+        return abs(a - b) <= REL_TOLERANCE * max(abs(a), abs(b), 1e-30)
+
+    if not close(new.throughput_gbps, old.throughput_gbps):
+        return False
+    if not close(new.latency.mean, old.latency.mean):
+        return False
+    if not close(new.makespan_seconds, old.makespan_seconds):
+        return False
+    if set(new.processor_busy_seconds) != set(old.processor_busy_seconds):
+        return False
+    return all(
+        close(new.processor_busy_seconds[r], busy)
+        for r, busy in old.processor_busy_seconds.items()
+    )
+
+
+def run_scenario(name, factory):
+    deployment, spec, batch_size, batch_count = factory()
+    profile = BranchProfile.measure(
+        deployment.graph.clone(), spec, sample_packets=256,
+        batch_size=batch_size,
+    )
+    kwargs = dict(batch_size=batch_size, batch_count=batch_count,
+                  branch_profile=profile)
+
+    legacy = LegacySimulationEngine()
+    kernel = SimulationEngine()
+
+    # Warm both code paths (imports, first-call allocations) on a
+    # shortened run so the timed runs compare steady-state cost.
+    warm = dict(kwargs, batch_count=min(50, batch_count))
+    legacy.run(deployment, spec, **warm)
+    kernel.run(deployment, spec, **warm)
+
+    t0 = time.perf_counter()
+    old_report = legacy.run(deployment, spec, **kwargs)
+    legacy_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    new_report = kernel.run(deployment, spec, **kwargs)
+    kernel_seconds = time.perf_counter() - t0
+
+    # Second-run path: per-deployment invariants already cached.
+    session = kernel.session(deployment)
+    session.run(spec, **dict(kwargs, batch_count=min(50, batch_count)))
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs)
+    reuse_seconds = time.perf_counter() - t0
+
+    recorder = EventRecorder()
+    session.run(spec, **kwargs, recorder=recorder)
+    events = len(recorder.node_events)
+    tasks = sum(session.last_timeline.task_counts.values())
+
+    node_count = len(deployment.graph.topological_order())
+    row = {
+        "scenario": name,
+        "nodes": node_count,
+        "batch_size": batch_size,
+        "batch_count": batch_count,
+        "node_events": events,
+        "scheduled_tasks": tasks,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "kernel_seconds": round(kernel_seconds, 6),
+        "session_reuse_seconds": round(reuse_seconds, 6),
+        "speedup": round(legacy_seconds / kernel_seconds, 3),
+        "reuse_speedup": round(legacy_seconds / reuse_seconds, 3),
+        "parity_ok": _parity_ok(new_report, old_report),
+    }
+    print(f"{name:8s} nodes={node_count:3d} batches={batch_count:5d} "
+          f"legacy={legacy_seconds:8.3f}s kernel={kernel_seconds:8.3f}s "
+          f"speedup={row['speedup']:6.2f}x parity={row['parity_ok']}")
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the small scenario (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="output path for the JSON report")
+    args = parser.parse_args(argv)
+
+    scenarios = SCENARIOS[:1] if args.quick else SCENARIOS
+    rows = [run_scenario(name, factory) for name, factory in scenarios]
+
+    report = {
+        "benchmark": "engine kernel vs legacy loop",
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "scenarios": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if any(not row["parity_ok"] for row in rows):
+        print("PARITY FAILURE: kernel and legacy reports diverge",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -127,8 +127,9 @@ class ExhaustiveOptimalBaseline(BaselineSystem):
         deployment = Deployment(graph=graph, mapping=mapping,
                                 persistent_kernel=self.persistent_kernel,
                                 name="optimal-probe")
-        return self.engine.measure_capacity(
-            deployment, spec, batch_size=batch_size,
+        session = self.engine.session(deployment)
+        return session.measure_capacity(
+            spec, batch_size=batch_size,
             batch_count=self.batch_count, branch_profile=profile,
         )
 
@@ -160,7 +161,7 @@ class ExhaustiveOptimalBaseline(BaselineSystem):
     def make_mapping(self, graph: ElementGraph, spec: TrafficSpec,
                      batch_size: int) -> Mapping:
         profile = BranchProfile.measure(
-            graph, spec, sample_packets=max(256, batch_size * 4),
+            graph.clone(), spec, sample_packets=max(256, batch_size * 4),
             batch_size=batch_size,
         )
         offloadables = self._offloadable_nodes(graph)

@@ -194,10 +194,15 @@ def _cmd_deploy(args) -> int:
                         algorithm=args.algorithm)
     plan = compass.deploy(sfc, spec, batch_size=args.batch)
     print(plan.describe())
-    report = compass.engine.run(plan.deployment, spec,
-                                batch_size=args.batch,
-                                batch_count=args.batches)
+    session = plan.session or compass.engine.session(plan.deployment)
+    report = session.run(spec, batch_size=args.batch,
+                         batch_count=args.batches)
     print(report.summary())
+    bottleneck = report.bottleneck_processor()
+    if bottleneck is not None:
+        utilization = report.utilization().get(bottleneck, 0.0)
+        print(f"bottleneck: {bottleneck} "
+              f"({utilization:.0%} busy over the makespan)")
     return 0
 
 
@@ -260,7 +265,8 @@ def _cmd_validate(args) -> int:
           f"deployments under the ValidatingRecorder")
     from repro.core.compass import NFCompass
     from repro.sim.engine import BranchProfile
-    from repro.validate.invariants import InvariantViolation
+    from repro.validate.invariants import InvariantViolation, \
+        verify_timeline
     for index in range(args.engine_runs):
         chain_spec = random_chain_spec(rng, max_len=args.max_len,
                                        name=f"validate-sim-{index}")
@@ -276,22 +282,27 @@ def _cmd_validate(args) -> int:
         plan = compass.deploy(sfc, traffic, batch_size=args.batch)
         # The measured branch profile tells the analytic engine how
         # much traffic each edge and merge carries; without it, merge
-        # dedup is invisible and conservation trips falsely.
+        # dedup is invisible and conservation trips falsely.  Measure
+        # on a clone so the deployed graph stays pristine.
         profile = BranchProfile.measure(
-            plan.deployment.graph, traffic, sample_packets=256,
+            plan.deployment.graph.clone(), traffic, sample_packets=256,
             batch_size=args.batch,
         )
+        session = plan.session or compass.engine.session(plan.deployment)
         recorder = ValidatingRecorder(batch_size=args.batch)
         try:
-            compass.engine.run(plan.deployment, traffic,
-                               batch_size=args.batch, batch_count=40,
-                               branch_profile=profile,
-                               recorder=recorder)
+            session.run(traffic, batch_size=args.batch, batch_count=40,
+                        branch_profile=profile, recorder=recorder)
         except InvariantViolation as violation:
             failures += 1
             print(f"  {chain_spec.name}: {violation}")
         else:
-            if args.verbose:
+            timeline_problems = verify_timeline(session.last_timeline)
+            if timeline_problems:
+                failures += 1
+                for problem in timeline_problems:
+                    print(f"  {chain_spec.name}: timeline {problem}")
+            elif args.verbose:
                 print(f"  {chain_spec.name} "
                       f"({' -> '.join(chain_spec.nf_types)}): OK")
 
@@ -316,11 +327,13 @@ def _cmd_config_run(args) -> int:
         graph, cores=engine.platform.cpu_processor_ids(6)
     )
     deployment = Deployment(graph, mapping, name=args.path)
-    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+    profile = BranchProfile.measure(graph.clone(), spec,
+                                    sample_packets=256,
                                     batch_size=args.batch)
-    report = engine.run(deployment, spec, batch_size=args.batch,
-                        batch_count=args.batches,
-                        branch_profile=profile)
+    session = engine.session(deployment)
+    report = session.run(spec, batch_size=args.batch,
+                         batch_count=args.batches,
+                         branch_profile=profile)
     print(report.summary())
     return 0
 

@@ -23,6 +23,7 @@ from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
 from repro.nf.base import NetworkFunction, ServiceFunctionChain
 from repro.sim.engine import BranchProfile, SimulationEngine
+from repro.sim.kernel import SimulationSession
 from repro.sim.mapping import Deployment, Mapping
 from repro.sim.metrics import ThroughputLatencyReport
 from repro.traffic.generator import TrafficSpec
@@ -37,6 +38,11 @@ class CompassPlan:
     synthesis_report: Optional[SynthesisReport]
     allocation_report: AllocationReport
     deployment: Deployment
+    #: The simulation session built during the deploy-time capacity
+    #: race, reusable by callers that simulate the chosen plan.
+    session: Optional[SimulationSession] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def effective_length(self) -> int:
@@ -167,13 +173,17 @@ class NFCompass:
             return candidates[0]
         capacities = []
         for plan in candidates:
+            # Profile a clone: the deployed graph's element state must
+            # not carry warmed-up profiling traffic into the simulated
+            # run or into golden-model comparisons.
             profile = BranchProfile.measure(
-                plan.deployment.graph, spec,
+                plan.deployment.graph.clone(), spec,
                 sample_packets=max(128, batch_size * 2),
                 batch_size=batch_size,
             )
-            capacities.append(self.engine.measure_capacity(
-                plan.deployment, spec, batch_size=batch_size,
+            plan.session = self.engine.session(plan.deployment)
+            capacities.append(plan.session.measure_capacity(
+                spec, batch_size=batch_size,
                 batch_count=40, branch_profile=profile,
             ))
         sequential_plan, parallel_plan_candidate = candidates
@@ -193,12 +203,13 @@ class NFCompass:
         plan = self.deploy(sfc, spec, batch_size=batch_size,
                            max_width=max_width)
         profile = BranchProfile.measure(
-            plan.deployment.graph, spec,
+            plan.deployment.graph.clone(), spec,
             sample_packets=max(256, batch_size * 4),
             batch_size=batch_size,
         )
-        return self.engine.run(
-            plan.deployment, spec,
+        session = plan.session or self.engine.session(plan.deployment)
+        return session.run(
+            spec,
             batch_size=batch_size,
             batch_count=batch_count,
             branch_profile=profile,

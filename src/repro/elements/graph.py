@@ -198,6 +198,22 @@ class ElementGraph:
             )
         return clone
 
+    def clone(self) -> "ElementGraph":
+        """Deep-copy the graph: same structure and node ids, fully
+        independent element instances and state.
+
+        Unlike :meth:`copy`, which shares element objects, a clone can
+        absorb profiling traffic (warmed counters, flow caches, NAT
+        bindings) without polluting the original — node ids match, so
+        a :class:`~repro.sim.engine.BranchProfile` measured on the
+        clone applies directly to the original deployment graph.
+        """
+        import copy
+        clone = ElementGraph(name=self.name)
+        clone._elements = copy.deepcopy(self._elements)
+        clone._edges = list(self._edges)
+        return clone
+
     def remove_node(self, node_id: str, splice: bool = True) -> None:
         """Remove a node; optionally splice predecessors to successors.
 

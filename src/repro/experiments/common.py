@@ -95,6 +95,8 @@ class CapacityLatency:
     latency_p99_ms: float
     latency_variance: float
     report: ThroughputLatencyReport
+    #: The saturation run's busiest processor, if any work was done.
+    bottleneck: Optional[str] = None
 
 
 def measure(engine: SimulationEngine, deployment: Deployment,
@@ -107,17 +109,20 @@ def measure(engine: SimulationEngine, deployment: Deployment,
 
     Measuring latency at the saturating load would report queue growth
     rather than service latency; the paper's latencies are taken at
-    offered loads the system can carry.
+    offered loads the system can carry.  Both passes share one
+    :class:`~repro.sim.kernel.SimulationSession`, so the deployment is
+    validated and its invariants precomputed only once.
     """
-    saturation_report = engine.run(
-        deployment, saturated(spec), batch_size=batch_size,
+    session = engine.session(deployment)
+    saturation_report = session.run(
+        saturated(spec), batch_size=batch_size,
         batch_count=batch_count, branch_profile=branch_profile,
         **interference,
     )
     capacity = saturation_report.throughput_gbps
     loaded = at_load(spec, max(0.05, capacity * latency_load_fraction))
-    latency_report = engine.run(
-        deployment, loaded, batch_size=batch_size,
+    latency_report = session.run(
+        loaded, batch_size=batch_size,
         batch_count=batch_count, branch_profile=branch_profile,
         **interference,
     )
@@ -127,6 +132,7 @@ def measure(engine: SimulationEngine, deployment: Deployment,
         latency_p99_ms=latency_report.latency.p99 * 1e3,
         latency_variance=latency_report.latency.variance,
         report=saturation_report,
+        bottleneck=saturation_report.bottleneck_processor(),
     )
 
 

@@ -92,8 +92,8 @@ def run(quick: bool = True, stage_counts: List[int] = (4,),
                 graph, mapping,
                 name="with_split" if with_split else "without_split",
             )
-            report = engine.run(
-                deployment, common.saturated(spec),
+            report = engine.session(deployment).run(
+                common.saturated(spec),
                 batch_size=batch_size, batch_count=batch_count,
             )
             rows.append(Fig5Row(

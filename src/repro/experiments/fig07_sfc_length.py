@@ -65,8 +65,8 @@ def run(quick: bool = True,
                 graph, mapping, persistent_kernel=False,
                 name=f"{case_id}:{policy}",
             )
-            report = engine.run(
-                deployment, common.saturated(spec),
+            report = engine.session(deployment).run(
+                common.saturated(spec),
                 batch_size=batch_size, batch_count=batch_count,
             )
             rows.append(Fig7Row(

@@ -81,9 +81,10 @@ def run_batch_sweep(quick: bool = True,
                     graph, mapping, persistent_kernel=False,
                     name=f"{nf_type}-{platform_kind}",
                 )
+                session = engine.session(deployment)
                 for batch_size in batch_sizes:
-                    report = engine.run(
-                        deployment, common.saturated(spec),
+                    report = session.run(
+                        common.saturated(spec),
                         batch_size=batch_size, batch_count=batch_count,
                     )
                     rows.append(BatchSweepRow(

@@ -145,7 +145,8 @@ def run(quick: bool = True,
             # Runtime profiling: the engine needs measured drop/port
             # fractions (notably the XorMerge's duplicate collapse).
             profile = BranchProfile.measure(
-                graph, spec, sample_packets=192, batch_size=batch_size,
+                graph.clone(), spec, sample_packets=192,
+                batch_size=batch_size,
             )
             for platform_kind in PLATFORMS:
                 ratio = 1.0 if platform_kind == "gpu" else 0.0
@@ -156,8 +157,9 @@ def run(quick: bool = True,
                     graph, mapping, persistent_kernel=False,
                     name=f"{nf_type}/{config}/{platform_kind}",
                 )
-                capacity = engine.run(
-                    deployment, common.saturated(spec),
+                session = engine.session(deployment)
+                capacity = session.run(
+                    common.saturated(spec),
                     batch_size=batch_size, batch_count=batch_count,
                     branch_profile=profile,
                 ).throughput_gbps
@@ -166,7 +168,7 @@ def run(quick: bool = True,
                     "config": config,
                     "platform": platform_kind,
                     "effective_length": effective_length,
-                    "deployment": deployment,
+                    "session": session,
                     "profile": profile,
                     "capacity": capacity,
                 })
@@ -178,8 +180,7 @@ def run(quick: bool = True,
                      and s["platform"] == platform_kind]
             shared_load = 0.85 * min(s["capacity"] for s in group)
             for entry in group:
-                latency_report = engine.run(
-                    entry["deployment"],
+                latency_report = entry["session"].run(
                     common.at_load(spec, max(0.05, shared_load)),
                     batch_size=batch_size, batch_count=batch_count,
                     branch_profile=entry["profile"],

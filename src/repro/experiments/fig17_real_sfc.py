@@ -110,19 +110,19 @@ def run(quick: bool = True,
                     plan = compass.deploy(sfc, spec,
                                           batch_size=batch_size)
                     deployment = plan.deployment
-                capacity = engine.run(
-                    deployment, common.saturated(spec),
+                session = engine.session(deployment)
+                capacity = session.run(
+                    common.saturated(spec),
                     batch_size=batch_size, batch_count=batch_count,
                 ).throughput_gbps
-                staged.append((system, deployment, capacity))
+                staged.append((system, session, capacity))
             if packet_size not in fixed_load:
                 fixed_load[packet_size] = 0.8 * min(
                     capacity for _s, _d, capacity in staged
                 )
             shared_load = fixed_load[packet_size]
-            for system, deployment, capacity in staged:
-                latency_report = engine.run(
-                    deployment,
+            for system, session, capacity in staged:
+                latency_report = session.run(
                     common.at_load(spec, max(0.05, shared_load)),
                     batch_size=batch_size, batch_count=batch_count,
                 )

@@ -67,20 +67,23 @@ def run(quick: bool = True,
 
     for system, deployment in systems:
         profile = BranchProfile.measure(
-            deployment.graph, spec, sample_packets=256,
+            deployment.graph.clone(), spec, sample_packets=256,
             batch_size=batch_size,
         )
-        capacity = engine.measure_capacity(
-            deployment, spec, batch_size=batch_size,
+        # One session per system: validation and graph analysis happen
+        # once, then every load point reuses the cached invariants.
+        session = engine.session(deployment)
+        capacity = session.measure_capacity(
+            spec, batch_size=batch_size,
             batch_count=batch_count, branch_profile=profile,
         )
         for fraction in fractions:
             loaded = common.at_load(spec,
                                     max(0.02, capacity * fraction))
-            report = engine.run(deployment, loaded,
-                                batch_size=batch_size,
-                                batch_count=batch_count,
-                                branch_profile=profile)
+            report = session.run(loaded,
+                                 batch_size=batch_size,
+                                 batch_count=batch_count,
+                                 branch_profile=profile)
             rows.append(LoadLatencyRow(
                 system=system,
                 load_fraction=fraction,

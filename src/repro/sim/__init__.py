@@ -10,6 +10,7 @@ merges, duplication and XOR-merging for parallel SFC branches).
 
 from repro.sim.mapping import Placement, Mapping, Deployment
 from repro.sim.metrics import ThroughputLatencyReport, OverheadBreakdown
+from repro.sim.kernel import ResourceTimeline, SimulationSession
 from repro.sim.engine import SimulationEngine, BranchProfile
 from repro.sim.tracing import EventRecorder, NodeEvent, BatchEvent
 
@@ -19,6 +20,8 @@ __all__ = [
     "Deployment",
     "ThroughputLatencyReport",
     "OverheadBreakdown",
+    "ResourceTimeline",
+    "SimulationSession",
     "SimulationEngine",
     "BranchProfile",
     "EventRecorder",

@@ -1,4 +1,4 @@
-"""The batch-level discrete-event simulation engine.
+"""The batch-level simulation engine (facade over the event kernel).
 
 The engine plays batches through a :class:`~repro.sim.mapping.Deployment`
 on the modelled platform.  Each batch is a token that flows through the
@@ -7,6 +7,14 @@ element DAG in topological order; element service times come from the
 PCIe links are serially reusable resources with FCFS queueing, so
 pipelining across batches and parallelism across branches emerge
 naturally.
+
+The scheduling machinery lives in :mod:`repro.sim.kernel`:
+:class:`~repro.sim.kernel.ResourceTimeline` holds the per-resource
+busy intervals (O(log n) amortized gap queries) and
+:class:`~repro.sim.kernel.SimulationSession` caches per-deployment
+invariants across runs.  :class:`SimulationEngine` here is a thin
+facade that builds a fresh session per call; callers that evaluate one
+deployment repeatedly should hold a session via :meth:`SimulationEngine.session`.
 
 Branching behaviour (which fraction of traffic leaves each classifier
 port, which fraction each element drops) is supplied by a
@@ -18,25 +26,21 @@ element").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.elements.graph import Edge, ElementGraph
-from repro.elements.offload import OffloadableElement
-from repro.hw.costs import BatchStats, CostModel
+from repro.elements.graph import ElementGraph
+from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
-from repro.net.batch import PacketBatch
-from repro.sim.mapping import Deployment, Placement
-from repro.sim.metrics import (
-    LatencyStats,
-    OverheadBreakdown,
-    ThroughputLatencyReport,
-)
+from repro.sim.kernel import ResourceTimeline, SimulationSession
+from repro.sim.mapping import Deployment
+from repro.sim.metrics import ThroughputLatencyReport
 from repro.traffic.generator import TrafficGenerator, TrafficSpec
 
-#: Tokens smaller than this many packets are considered empty.
-_EPSILON_PACKETS = 1e-9
+#: Backwards-compatible alias: the legacy scheduler class name.  The
+#: timeline is a drop-in replacement for scheduling semantics; the
+#: interval storage moved behind :meth:`ResourceTimeline.intervals`.
+_Resources = ResourceTimeline
 
 
 @dataclass
@@ -58,9 +62,11 @@ class BranchProfile:
                 batch_size: int = 64) -> "BranchProfile":
         """Runtime profiling: push sample traffic, read the counters.
 
-        Mutates element counters/state of ``graph`` (callers usually
-        profile on a fresh graph or accept warmed-up state, as the real
-        runtime would).
+        Mutates element counters/state of ``graph``.  Callers that need
+        the live graph pristine (deployment graphs about to be compared
+        against a golden model, or simulated from cold state) should
+        profile a :meth:`~repro.elements.graph.ElementGraph.clone`
+        instead — node ids match, so the profile transfers directly.
         """
         generator = TrafficGenerator(spec)
         batch_count = max(1, sample_packets // batch_size)
@@ -113,57 +119,6 @@ class BranchProfile:
         return min(1.0, max(0.0, self.drop_fractions.get(node_id, 0.0)))
 
 
-@dataclass
-class _Resources:
-    """Serially reusable resources with gap-filling scheduling.
-
-    Each resource keeps its committed busy intervals; a new task is
-    placed in the earliest gap (at or after its ready time) that fits.
-    Without gap filling, the batch-major simulation order would create
-    a head-of-line artifact: batch *i+1*'s first element could never
-    use the idle time a core has while batch *i* is away on the GPU,
-    and every pipeline would serialize at its round-trip time instead
-    of its bottleneck stage.
-    """
-
-    intervals: Dict[str, List[Tuple[float, float]]] = field(
-        default_factory=dict
-    )
-    busy: Dict[str, float] = field(default_factory=dict)
-
-    def schedule(self, resource: str, ready: float,
-                 duration: float) -> Tuple[float, float]:
-        """Occupy ``resource`` for ``duration``; returns (start, end)."""
-        if duration < 0:
-            raise ValueError("duration must be non-negative")
-        slots = self.intervals.setdefault(resource, [])
-        self.busy[resource] = self.busy.get(resource, 0.0) + duration
-        # Find the earliest gap >= duration starting at or after ready.
-        start = ready
-        insert_at = len(slots)
-        for index, (slot_start, slot_end) in enumerate(slots):
-            if slot_end <= start:
-                continue
-            if slot_start >= start + duration:
-                insert_at = index
-                break
-            start = max(start, slot_end)
-        else:
-            insert_at = len(slots)
-        end = start + duration
-        if duration > 0:
-            slots.insert(insert_at, (start, end))
-        return start, end
-
-
-@dataclass
-class _Token:
-    """A (possibly fractional) batch present at one node."""
-
-    ready: float
-    packets: float
-
-
 class SimulationEngine:
     """Runs deployments against traffic specs."""
 
@@ -173,6 +128,17 @@ class SimulationEngine:
         self.cost = cost_model or CostModel(self.platform)
 
     # ------------------------------------------------------------------
+    def session(self, deployment: Deployment) -> SimulationSession:
+        """Prepare ``deployment`` for repeated runs.
+
+        Validates once and precomputes topological order, sink/source
+        sets, per-node placements and GPU boundary-crossing flags;
+        every :meth:`~repro.sim.kernel.SimulationSession.run` and
+        :meth:`~repro.sim.kernel.SimulationSession.measure_capacity`
+        on the returned session reuses them.
+        """
+        return SimulationSession(self, deployment)
+
     def run(self, deployment: Deployment, spec: TrafficSpec,
             batch_size: int = 64,
             batch_count: int = 200,
@@ -180,291 +146,36 @@ class SimulationEngine:
             cpu_time_inflation: float = 1.0,
             co_run_pressure_bytes: float = 0.0,
             gpu_corun_kernels: int = 0,
-            recorder: Optional["EventRecorder"] = None
-            ) -> ThroughputLatencyReport:
+            recorder=None) -> ThroughputLatencyReport:
         """Simulate ``batch_count`` batches of ``batch_size`` packets.
 
-        ``cpu_time_inflation``, ``co_run_pressure_bytes`` and
-        ``gpu_corun_kernels`` inject co-existence interference computed
-        by :class:`~repro.hw.interference.InterferenceModel`.  An
-        optional :class:`~repro.sim.tracing.EventRecorder` captures
-        per-node scheduling events for debugging and visualization.
+        One-shot convenience over :meth:`session`; see
+        :meth:`repro.sim.kernel.SimulationSession.run` for parameter
+        semantics.
         """
-        deployment.validate()
-        graph = deployment.graph
-        profile = branch_profile or BranchProfile()
-        resources = _Resources()
-        overheads = OverheadBreakdown()
-        order = graph.topological_order()
-        sources = set(graph.sources())
-        sinks = set(graph.sinks())
-        mean_bytes = spec.size_law.mean()
-        inter_batch = batch_size * spec.mean_packet_interval()
-
-        delivered_packets = 0.0
-        delivered_bytes = 0.0
-        dropped_packets = 0.0
-        latencies: List[float] = []
-        first_arrival = 0.0
-        last_completion = 0.0
-
-        for batch_index in range(batch_count):
-            arrival = batch_index * inter_batch
-            inbox: Dict[str, List[_Token]] = {n: [] for n in order}
-            for node in sources:
-                inbox[node].append(_Token(ready=arrival,
-                                          packets=float(batch_size)))
-            batch_completion = arrival
-            batch_delivered = 0.0
-            for node_id in order:
-                tokens = inbox[node_id]
-                if not tokens:
-                    continue
-                ready = max(t.ready for t in tokens)
-                packets = sum(t.packets for t in tokens)
-                if packets <= _EPSILON_PACKETS:
-                    continue
-                placement = deployment.mapping[node_id]
-                element = graph.element(node_id)
-                # Join-point merge cost for multi-input nodes.
-                if len(tokens) > 1:
-                    merge_time = self.cost.merge_seconds(
-                        max(1, round(packets))
-                    )
-                    _start, ready = resources.schedule(
-                        placement.cpu_processor or "cpu0", ready, merge_time
-                    )
-                    overheads.batch_merge += merge_time
-
-                completion = self._process_node(
-                    deployment, node_id, element, placement, ready,
-                    packets, mean_bytes, spec, resources, overheads,
-                    cpu_time_inflation, co_run_pressure_bytes,
-                    gpu_corun_kernels,
-                )
-                if recorder is not None:
-                    recorder.record_node(batch_index, node_id, ready,
-                                         completion, packets)
-
-                drop_frac = profile.drop_for(node_id)
-                survivors = packets * (1.0 - drop_frac)
-                dropped_packets += packets - survivors
-
-                if node_id in sinks:
-                    if survivors > _EPSILON_PACKETS:
-                        batch_delivered += survivors
-                        batch_completion = max(batch_completion, completion)
-                    continue
-
-                fractions = profile.fractions_for(graph, node_id)
-                connected = [p for p in fractions if fractions[p] > 0]
-                is_duplicator = element.kind == "Tee"
-                if len(connected) > 1 and not is_duplicator:
-                    split_time = self.cost.split_seconds(
-                        max(1, round(survivors))
-                    )
-                    _start, completion = resources.schedule(
-                        placement.cpu_processor or "cpu0",
-                        completion, split_time,
-                    )
-                    overheads.batch_split += split_time
-                if is_duplicator and len(connected) > 1:
-                    dup_time = self.cost.duplicate_seconds(
-                        max(1, round(survivors)),
-                        survivors * mean_bytes * (len(connected) - 1),
-                    )
-                    _start, completion = resources.schedule(
-                        placement.cpu_processor or "cpu0",
-                        completion, dup_time,
-                    )
-                    overheads.duplication += dup_time
-                for port, fraction in fractions.items():
-                    share = survivors * fraction
-                    if share <= _EPSILON_PACKETS:
-                        continue
-                    for edge in graph.out_edges(node_id, port=port):
-                        inbox[edge.dst].append(
-                            _Token(ready=completion, packets=share)
-                        )
-
-            if recorder is not None:
-                recorder.record_batch(batch_index, arrival,
-                                      batch_completion, batch_delivered)
-            if batch_delivered > _EPSILON_PACKETS:
-                delivered_packets += batch_delivered
-                delivered_bytes += batch_delivered * mean_bytes
-                latencies.append(batch_completion - arrival)
-                last_completion = max(last_completion, batch_completion)
-
-        makespan = max(last_completion - first_arrival,
-                       inter_batch * batch_count)
-        return ThroughputLatencyReport(
-            name=deployment.name,
-            offered_gbps=spec.offered_gbps,
-            delivered_packets=delivered_packets,
-            delivered_bytes=delivered_bytes,
-            dropped_packets=dropped_packets,
-            makespan_seconds=makespan,
-            latency=LatencyStats.from_samples(latencies),
-            overheads=overheads,
-            processor_busy_seconds=dict(resources.busy),
+        return self.session(deployment).run(
+            spec, batch_size=batch_size, batch_count=batch_count,
+            branch_profile=branch_profile,
+            cpu_time_inflation=cpu_time_inflation,
+            co_run_pressure_bytes=co_run_pressure_bytes,
+            gpu_corun_kernels=gpu_corun_kernels,
+            recorder=recorder,
         )
-
-    # ------------------------------------------------------------------
-    def _process_node(self, deployment: Deployment, node_id: str,
-                      element, placement: Placement, ready: float,
-                      packets: float, mean_bytes: float,
-                      spec: TrafficSpec, resources: _Resources,
-                      overheads: OverheadBreakdown,
-                      cpu_time_inflation: float,
-                      co_run_pressure_bytes: float,
-                      gpu_corun_kernels: int) -> float:
-        """Schedule one node's service; return its completion time."""
-        ratio = placement.offload_ratio if (
-            isinstance(element, OffloadableElement) and element.offloadable
-        ) else 0.0
-        cpu_share = packets * (1.0 - ratio)
-        gpu_share = packets * ratio
-
-        cpu_end = ready
-        if cpu_share > _EPSILON_PACKETS:
-            stats = BatchStats(
-                batch_size=max(1, round(cpu_share)),
-                mean_packet_bytes=mean_bytes,
-                match_profile=spec.match_profile,
-            )
-            service = self.cost.cpu_batch_seconds(
-                element, stats,
-                co_run_pressure_bytes=co_run_pressure_bytes,
-            ) * cpu_time_inflation
-            _start, cpu_end = resources.schedule(
-                placement.cpu_processor, ready, service
-            )
-            overheads.cpu_compute += service
-
-        gpu_end = ready
-        if gpu_share > _EPSILON_PACKETS:
-            gpu_end = self._schedule_gpu(
-                deployment, node_id, element, placement, ready,
-                gpu_share, mean_bytes, spec, resources, overheads,
-                gpu_corun_kernels,
-            )
-
-        completion = max(cpu_end, gpu_end)
-
-        if 0.0 < ratio < 1.0:
-            # Partial offload re-merges the two halves in order (the
-            # GPUCompletionQueue pattern).
-            merge_time = self.cost.merge_seconds(max(1, round(packets)))
-            _start, completion = resources.schedule(
-                placement.cpu_processor or "cpu0", completion, merge_time
-            )
-            overheads.batch_merge += merge_time
-
-        if deployment.stateful_reassembly and ratio > 0.0:
-            reasm = self.cost.reassembly_seconds(max(1, round(packets)))
-            _start, completion = resources.schedule(
-                placement.cpu_processor or "cpu0", completion, reasm
-            )
-            overheads.reassembly += reasm
-
-        return completion
-
-    def _schedule_gpu(self, deployment: Deployment, node_id: str,
-                      element, placement: Placement, ready: float,
-                      gpu_share: float, mean_bytes: float,
-                      spec: TrafficSpec, resources: _Resources,
-                      overheads: OverheadBreakdown,
-                      gpu_corun_kernels: int) -> float:
-        stats = BatchStats(
-            batch_size=max(1, round(gpu_share)),
-            mean_packet_bytes=mean_bytes,
-            match_profile=spec.match_profile,
-        )
-        timing = self.cost.gpu_batch_timing(
-            element, stats,
-            persistent_kernel=deployment.persistent_kernel,
-            co_running_kernels=gpu_corun_kernels,
-        )
-        gpu = placement.gpu_processor
-        # PCIe is full duplex with independent DMA engines per
-        # direction; modelling one shared resource would forbid the
-        # h2d/kernel/d2h pipelining real frameworks rely on.
-        pcie_h2d = f"pcie:{gpu}:h2d"
-        pcie_d2h = f"pcie:{gpu}:d2h"
-
-        pays_h2d = self._crosses_into_gpu(deployment, node_id, placement)
-        pays_d2h = self._crosses_out_of_gpu(deployment, node_id, placement)
-
-        clock = ready
-        if pays_h2d and timing.h2d > 0:
-            _start, clock = resources.schedule(pcie_h2d, clock, timing.h2d)
-            overheads.pcie_transfer += timing.h2d
-
-        kernel_time = timing.launch + timing.kernel
-        _start, clock = resources.schedule(gpu, clock, kernel_time)
-        overheads.kernel_launch += timing.launch
-        overheads.gpu_kernel += timing.kernel
-
-        if pays_d2h and timing.d2h > 0:
-            _start, clock = resources.schedule(pcie_d2h, clock, timing.d2h)
-            overheads.pcie_transfer += timing.d2h
-        return clock
-
-    @staticmethod
-    def _crosses_into_gpu(deployment: Deployment, node_id: str,
-                          placement: Placement) -> bool:
-        """H2D needed unless all input already lives on the same GPU."""
-        if not placement.gpu_only:
-            return True
-        graph = deployment.graph
-        predecessors = graph.predecessors(node_id)
-        if not predecessors:
-            return True
-        for pred in predecessors:
-            pred_placement = deployment.mapping.get(pred)
-            if (pred_placement is None or not pred_placement.gpu_only
-                    or pred_placement.gpu_processor
-                    != placement.gpu_processor):
-                return True
-        return False
-
-    @staticmethod
-    def _crosses_out_of_gpu(deployment: Deployment, node_id: str,
-                            placement: Placement) -> bool:
-        """D2H needed unless every consumer stays on the same GPU."""
-        if not placement.gpu_only:
-            return True
-        graph = deployment.graph
-        successors = graph.successors(node_id)
-        if not successors:
-            return True
-        for succ in successors:
-            succ_placement = deployment.mapping.get(succ)
-            if (succ_placement is None or not succ_placement.gpu_only
-                    or succ_placement.gpu_processor
-                    != placement.gpu_processor):
-                return True
-        return False
 
     # ------------------------------------------------------------------
     def measure_capacity(self, deployment: Deployment, spec: TrafficSpec,
                          batch_size: int = 64,
                          batch_count: int = 200,
                          branch_profile: Optional[BranchProfile] = None,
+                         saturation_gbps: float = 200.0,
                          **interference) -> float:
-        """Saturation throughput in Gbps (offered load >> capacity)."""
-        saturated = TrafficSpec(
-            offered_gbps=max(spec.offered_gbps, 200.0),
-            size_law=spec.size_law,
-            protocol=spec.protocol,
-            ip_version=spec.ip_version,
-            flow_count=spec.flow_count,
-            seed=spec.seed,
-            payload_maker=spec.payload_maker,
-            match_profile=spec.match_profile,
-        )
-        report = self.run(deployment, saturated, batch_size=batch_size,
-                          batch_count=batch_count,
-                          branch_profile=branch_profile, **interference)
-        return report.throughput_gbps
+        """Saturation throughput in Gbps (offered load >> capacity).
+
+        ``saturation_gbps`` sets the offered load used to saturate the
+        pipeline; the effective load is the larger of it and the
+        spec's own offered load.
+        """
+        return self.session(deployment).measure_capacity(
+            spec, batch_size=batch_size, batch_count=batch_count,
+            branch_profile=branch_profile,
+            saturation_gbps=saturation_gbps, **interference)

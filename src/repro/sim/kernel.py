@@ -1,0 +1,555 @@
+"""The event kernel: resource timelines and reusable simulation sessions.
+
+This module is the scheduling core of the batch-level simulator.  It
+splits the old monolithic engine loop into two long-lived objects:
+
+- :class:`ResourceTimeline` — serially reusable resources (CPU cores,
+  GPUs, PCIe DMA lanes) with gap-filling FCFS scheduling.  Busy time
+  is kept as parallel sorted ``starts``/``ends`` arrays per resource,
+  so the earliest-gap query is a ``bisect`` plus a short forward walk
+  and the common tail append is O(1) — O(log n) amortized per task
+  instead of the legacy O(n) scan from index zero.  Committed slots
+  are stored exactly as placed (abutting slots are *not* merged):
+  zero-duration tasks may legally land in the seam between two
+  back-to-back slots, so placement depends on the commit history, not
+  just the busy-time union.  Keeping the history verbatim makes every
+  placement bit-identical to the legacy linear scanner (see
+  ``repro.sim.legacy`` and the Hypothesis differential property in
+  ``tests/properties/test_timeline_properties.py``).
+
+- :class:`SimulationSession` — per-deployment invariants computed
+  once and reused across every ``run``/``measure_capacity`` call:
+  topological order, source/sink sets, per-node placement/element
+  lookups, offload ratios, fan-out edge tables, and the GPU
+  boundary-crossing flags (whether a node pays H2D/D2H, formerly
+  re-derived per batch by graph walks).
+
+The per-node work of one batch is decomposed into small step methods
+(merge, service, split/duplicate, fan-out) operating on the session,
+keeping the :class:`~repro.sim.tracing.EventRecorder` hooks and the
+:class:`~repro.sim.metrics.OverheadBreakdown` accounting of the
+original loop intact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.elements.offload import OffloadableElement
+from repro.hw.costs import BatchStats
+from repro.sim.mapping import Deployment, Placement
+from repro.sim.metrics import (
+    LatencyStats,
+    OverheadBreakdown,
+    ThroughputLatencyReport,
+)
+from repro.traffic.generator import TrafficSpec
+
+#: Tokens smaller than this many packets are considered empty.
+_EPSILON_PACKETS = 1e-9
+
+
+class _Lane:
+    """One resource's committed busy slots as parallel sorted arrays.
+
+    ``starts``/``ends`` hold non-overlapping (possibly abutting)
+    half-open slots sorted by start; only positive-duration tasks are
+    committed, so ``ends`` is strictly increasing and usable as a
+    bisect key.  Slots are never merged: the seam between two
+    back-to-back slots is observable to zero-duration placements,
+    exactly as in the legacy scanner.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self):
+        self.starts: List[float] = []
+        self.ends: List[float] = []
+
+    def place(self, ready: float, duration: float) -> Tuple[float, float]:
+        """Commit the earliest fitting slot at or after ``ready``."""
+        starts, ends = self.starts, self.ends
+        # Tail fast path: work arriving after all committed slots.
+        if not ends or ready >= ends[-1]:
+            end = ready + duration
+            if duration > 0:
+                starts.append(ready)
+                ends.append(end)
+            return ready, end
+        # Fast-forward to the first slot ending after the ready time;
+        # earlier slots cannot constrain the placement.  From here the
+        # walk is verbatim the legacy linear scan.
+        index = bisect_right(ends, ready)
+        start = ready
+        count = len(starts)
+        insert_at = count
+        while index < count:
+            if starts[index] >= start + duration:
+                insert_at = index
+                break
+            if ends[index] > start:
+                start = ends[index]
+            index += 1
+        end = start + duration
+        if duration > 0:
+            starts.insert(insert_at, start)
+            ends.insert(insert_at, end)
+        return start, end
+
+
+class ResourceTimeline:
+    """Serially reusable resources with gap-filling scheduling.
+
+    Each resource keeps its committed busy intervals; a new task is
+    placed in the earliest gap (at or after its ready time) that fits.
+    Without gap filling, the batch-major simulation order would create
+    a head-of-line artifact: batch *i+1*'s first element could never
+    use the idle time a core has while batch *i* is away on the GPU,
+    and every pipeline would serialize at its round-trip time instead
+    of its bottleneck stage.
+
+    Besides the busy-time totals the legacy scheduler kept, the
+    timeline accumulates per-resource queueing delay (``start -
+    ready`` per task) and task counts, which feed the bottleneck
+    fields of :class:`~repro.sim.metrics.ThroughputLatencyReport`.
+    """
+
+    __slots__ = ("_lanes", "busy", "queue_wait", "task_counts")
+
+    def __init__(self):
+        self._lanes: Dict[str, _Lane] = {}
+        self.busy: Dict[str, float] = {}
+        self.queue_wait: Dict[str, float] = {}
+        self.task_counts: Dict[str, int] = {}
+
+    def schedule(self, resource: str, ready: float,
+                 duration: float) -> Tuple[float, float]:
+        """Occupy ``resource`` for ``duration``; returns (start, end)."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        lane = self._lanes.get(resource)
+        if lane is None:
+            lane = self._lanes[resource] = _Lane()
+        start, end = lane.place(ready, duration)
+        self.busy[resource] = self.busy.get(resource, 0.0) + duration
+        self.queue_wait[resource] = (
+            self.queue_wait.get(resource, 0.0) + (start - ready)
+        )
+        self.task_counts[resource] = self.task_counts.get(resource, 0) + 1
+        return start, end
+
+    def resources(self) -> List[str]:
+        return sorted(self._lanes)
+
+    def intervals(self, resource: str) -> List[Tuple[float, float]]:
+        """Committed busy slots (sorted, non-overlapping, may abut)."""
+        lane = self._lanes.get(resource)
+        if lane is None:
+            return []
+        return list(zip(lane.starts, lane.ends))
+
+    def busy_span(self, resource: str) -> float:
+        """Total busy-block width; equals the summed task durations."""
+        lane = self._lanes.get(resource)
+        if lane is None:
+            return 0.0
+        return sum(e - s for s, e in zip(lane.starts, lane.ends))
+
+
+class _Token:
+    """A (possibly fractional) batch present at one node."""
+
+    __slots__ = ("ready", "packets")
+
+    def __init__(self, ready: float, packets: float):
+        self.ready = ready
+        self.packets = packets
+
+
+class _NodePlan:
+    """Per-node invariants precomputed once per session."""
+
+    __slots__ = (
+        "node_id", "element", "placement", "is_tee", "is_sink",
+        "offload_ratio", "cpu_resource", "merge_resource",
+        "gpu_resource", "pcie_h2d", "pcie_d2h", "pays_h2d", "pays_d2h",
+        "edges_by_port",
+    )
+
+    def __init__(self, node_id: str, element, placement: Placement,
+                 is_sink: bool, pays_h2d: bool, pays_d2h: bool,
+                 edges_by_port: Dict[int, Tuple[str, ...]]):
+        self.node_id = node_id
+        self.element = element
+        self.placement = placement
+        self.is_tee = element.kind == "Tee"
+        self.is_sink = is_sink
+        self.offload_ratio = placement.offload_ratio if (
+            isinstance(element, OffloadableElement) and element.offloadable
+        ) else 0.0
+        self.cpu_resource = placement.cpu_processor
+        self.merge_resource = placement.cpu_processor or "cpu0"
+        gpu = placement.gpu_processor
+        self.gpu_resource = gpu
+        # PCIe is full duplex with independent DMA engines per
+        # direction; modelling one shared resource would forbid the
+        # h2d/kernel/d2h pipelining real frameworks rely on.
+        self.pcie_h2d = f"pcie:{gpu}:h2d" if gpu else None
+        self.pcie_d2h = f"pcie:{gpu}:d2h" if gpu else None
+        self.pays_h2d = pays_h2d
+        self.pays_d2h = pays_d2h
+        self.edges_by_port = edges_by_port
+
+
+def _crosses_into_gpu(deployment: Deployment, node_id: str,
+                      placement: Placement) -> bool:
+    """H2D needed unless all input already lives on the same GPU."""
+    if not placement.gpu_only:
+        return True
+    graph = deployment.graph
+    predecessors = graph.predecessors(node_id)
+    if not predecessors:
+        return True
+    for pred in predecessors:
+        pred_placement = deployment.mapping.get(pred)
+        if (pred_placement is None or not pred_placement.gpu_only
+                or pred_placement.gpu_processor
+                != placement.gpu_processor):
+            return True
+    return False
+
+
+def _crosses_out_of_gpu(deployment: Deployment, node_id: str,
+                        placement: Placement) -> bool:
+    """D2H needed unless every consumer stays on the same GPU."""
+    if not placement.gpu_only:
+        return True
+    graph = deployment.graph
+    successors = graph.successors(node_id)
+    if not successors:
+        return True
+    for succ in successors:
+        succ_placement = deployment.mapping.get(succ)
+        if (succ_placement is None or not succ_placement.gpu_only
+                or succ_placement.gpu_processor
+                != placement.gpu_processor):
+            return True
+    return False
+
+
+class SimulationSession:
+    """A deployment prepared for repeated simulation runs.
+
+    Construction validates the deployment once and precomputes every
+    graph-derived invariant the per-batch loop needs, so callers that
+    evaluate the same deployment many times (capacity races, load
+    sweeps, optimization loops) stop paying the topological sort and
+    boundary-crossing graph walks per call.
+    """
+
+    def __init__(self, engine, deployment: Deployment):
+        deployment.validate()
+        self.engine = engine
+        self.cost = engine.cost
+        self.deployment = deployment
+        graph = deployment.graph
+        self.order: List[str] = graph.topological_order()
+        self.source_nodes: Tuple[str, ...] = tuple(graph.sources())
+        self.sink_nodes = frozenset(graph.sinks())
+        self.stateful_reassembly = deployment.stateful_reassembly
+        self.plans: Dict[str, _NodePlan] = {}
+        for node_id in self.order:
+            placement = deployment.mapping[node_id]
+            element = graph.element(node_id)
+            edges_by_port: Dict[int, List[str]] = {}
+            for edge in graph.out_edges(node_id):
+                edges_by_port.setdefault(edge.src_port, []).append(edge.dst)
+            self.plans[node_id] = _NodePlan(
+                node_id=node_id,
+                element=element,
+                placement=placement,
+                is_sink=node_id in self.sink_nodes,
+                pays_h2d=_crosses_into_gpu(deployment, node_id, placement),
+                pays_d2h=_crosses_out_of_gpu(deployment, node_id, placement),
+                edges_by_port={port: tuple(dsts)
+                               for port, dsts in edges_by_port.items()},
+            )
+        #: The ResourceTimeline of the most recent :meth:`run`, kept
+        #: for bottleneck inspection and timeline-integrity auditing.
+        self.last_timeline: Optional[ResourceTimeline] = None
+
+    # ------------------------------------------------------------------
+    def _branch_tables(self, profile):
+        """Per-run branch invariants: drop fractions and fan-out plans.
+
+        The measured profile and the graph are immutable over one run,
+        so the per-node port fractions are computed once here instead
+        of once per (batch, node) visit.
+        """
+        graph = self.deployment.graph
+        drops: Dict[str, float] = {}
+        fan_out: Dict[str, Tuple[Dict[int, float], int]] = {}
+        for node_id in self.order:
+            drops[node_id] = profile.drop_for(node_id)
+            if node_id not in self.sink_nodes:
+                fractions = profile.fractions_for(graph, node_id)
+                connected = sum(1 for p in fractions if fractions[p] > 0)
+                fan_out[node_id] = (fractions, connected)
+        return drops, fan_out
+
+    # ------------------------------------------------------------------
+    def run(self, spec: TrafficSpec,
+            batch_size: int = 64,
+            batch_count: int = 200,
+            branch_profile=None,
+            cpu_time_inflation: float = 1.0,
+            co_run_pressure_bytes: float = 0.0,
+            gpu_corun_kernels: int = 0,
+            recorder=None) -> ThroughputLatencyReport:
+        """Simulate ``batch_count`` batches of ``batch_size`` packets.
+
+        ``cpu_time_inflation``, ``co_run_pressure_bytes`` and
+        ``gpu_corun_kernels`` inject co-existence interference computed
+        by :class:`~repro.hw.interference.InterferenceModel`.  An
+        optional :class:`~repro.sim.tracing.EventRecorder` captures
+        per-node scheduling events for debugging and visualization.
+        """
+        if branch_profile is None:
+            from repro.sim.engine import BranchProfile
+            branch_profile = BranchProfile()
+        timeline = ResourceTimeline()
+        overheads = OverheadBreakdown()
+        drops, fan_out = self._branch_tables(branch_profile)
+        mean_bytes = spec.size_law.mean()
+        inter_batch = batch_size * spec.mean_packet_interval()
+
+        delivered_packets = 0.0
+        delivered_bytes = 0.0
+        dropped_packets = 0.0
+        latencies: List[float] = []
+        last_completion = 0.0
+
+        for batch_index in range(batch_count):
+            arrival = batch_index * inter_batch
+            inbox: Dict[str, List[_Token]] = {n: [] for n in self.order}
+            for node in self.source_nodes:
+                inbox[node].append(_Token(ready=arrival,
+                                          packets=float(batch_size)))
+            batch_completion = arrival
+            batch_delivered = 0.0
+            for node_id in self.order:
+                tokens = inbox[node_id]
+                if not tokens:
+                    continue
+                ready = max(t.ready for t in tokens)
+                packets = sum(t.packets for t in tokens)
+                if packets <= _EPSILON_PACKETS:
+                    continue
+                plan = self.plans[node_id]
+                if len(tokens) > 1:
+                    ready = self._merge_step(plan, ready, packets,
+                                             timeline, overheads)
+                completion = self._service_step(
+                    plan, ready, packets, mean_bytes, spec, timeline,
+                    overheads, cpu_time_inflation, co_run_pressure_bytes,
+                    gpu_corun_kernels,
+                )
+                if recorder is not None:
+                    recorder.record_node(batch_index, node_id, ready,
+                                         completion, packets)
+
+                survivors = packets * (1.0 - drops[node_id])
+                dropped_packets += packets - survivors
+
+                if plan.is_sink:
+                    if survivors > _EPSILON_PACKETS:
+                        batch_delivered += survivors
+                        batch_completion = max(batch_completion, completion)
+                    continue
+
+                fractions, connected = fan_out[node_id]
+                completion = self._split_step(plan, connected, survivors,
+                                              mean_bytes, completion,
+                                              timeline, overheads)
+                self._fanout_step(plan, fractions, survivors, completion,
+                                  inbox)
+
+            if recorder is not None:
+                recorder.record_batch(batch_index, arrival,
+                                      batch_completion, batch_delivered)
+            if batch_delivered > _EPSILON_PACKETS:
+                delivered_packets += batch_delivered
+                delivered_bytes += batch_delivered * mean_bytes
+                latencies.append(batch_completion - arrival)
+                last_completion = max(last_completion, batch_completion)
+
+        makespan = max(last_completion, inter_batch * batch_count)
+        self.last_timeline = timeline
+        return ThroughputLatencyReport(
+            name=self.deployment.name,
+            offered_gbps=spec.offered_gbps,
+            delivered_packets=delivered_packets,
+            delivered_bytes=delivered_bytes,
+            dropped_packets=dropped_packets,
+            makespan_seconds=makespan,
+            latency=LatencyStats.from_samples(latencies),
+            overheads=overheads,
+            processor_busy_seconds=dict(timeline.busy),
+            processor_queue_wait_seconds=dict(timeline.queue_wait),
+        )
+
+    # ------------------------------------------------------------------
+    # Node-step functions
+    # ------------------------------------------------------------------
+    def _merge_step(self, plan: _NodePlan, ready: float, packets: float,
+                    timeline: ResourceTimeline,
+                    overheads: OverheadBreakdown) -> float:
+        """Join-point merge cost for multi-input nodes."""
+        merge_time = self.cost.merge_seconds(max(1, round(packets)))
+        _start, ready = timeline.schedule(plan.merge_resource, ready,
+                                          merge_time)
+        overheads.batch_merge += merge_time
+        return ready
+
+    def _service_step(self, plan: _NodePlan, ready: float,
+                      packets: float, mean_bytes: float,
+                      spec: TrafficSpec, timeline: ResourceTimeline,
+                      overheads: OverheadBreakdown,
+                      cpu_time_inflation: float,
+                      co_run_pressure_bytes: float,
+                      gpu_corun_kernels: int) -> float:
+        """Schedule one node's service; return its completion time."""
+        ratio = plan.offload_ratio
+        cpu_share = packets * (1.0 - ratio)
+        gpu_share = packets * ratio
+
+        cpu_end = ready
+        if cpu_share > _EPSILON_PACKETS:
+            stats = BatchStats(
+                batch_size=max(1, round(cpu_share)),
+                mean_packet_bytes=mean_bytes,
+                match_profile=spec.match_profile,
+            )
+            service = self.cost.cpu_batch_seconds(
+                plan.element, stats,
+                co_run_pressure_bytes=co_run_pressure_bytes,
+            ) * cpu_time_inflation
+            _start, cpu_end = timeline.schedule(plan.cpu_resource, ready,
+                                                service)
+            overheads.cpu_compute += service
+
+        gpu_end = ready
+        if gpu_share > _EPSILON_PACKETS:
+            gpu_end = self._gpu_step(plan, ready, gpu_share, mean_bytes,
+                                     spec, timeline, overheads,
+                                     gpu_corun_kernels)
+
+        completion = max(cpu_end, gpu_end)
+
+        if 0.0 < ratio < 1.0:
+            # Partial offload re-merges the two halves in order (the
+            # GPUCompletionQueue pattern).
+            merge_time = self.cost.merge_seconds(max(1, round(packets)))
+            _start, completion = timeline.schedule(
+                plan.merge_resource, completion, merge_time
+            )
+            overheads.batch_merge += merge_time
+
+        if self.stateful_reassembly and ratio > 0.0:
+            reasm = self.cost.reassembly_seconds(max(1, round(packets)))
+            _start, completion = timeline.schedule(
+                plan.merge_resource, completion, reasm
+            )
+            overheads.reassembly += reasm
+
+        return completion
+
+    def _gpu_step(self, plan: _NodePlan, ready: float, gpu_share: float,
+                  mean_bytes: float, spec: TrafficSpec,
+                  timeline: ResourceTimeline,
+                  overheads: OverheadBreakdown,
+                  gpu_corun_kernels: int) -> float:
+        stats = BatchStats(
+            batch_size=max(1, round(gpu_share)),
+            mean_packet_bytes=mean_bytes,
+            match_profile=spec.match_profile,
+        )
+        timing = self.cost.gpu_batch_timing(
+            plan.element, stats,
+            persistent_kernel=self.deployment.persistent_kernel,
+            co_running_kernels=gpu_corun_kernels,
+        )
+        clock = ready
+        if plan.pays_h2d and timing.h2d > 0:
+            _start, clock = timeline.schedule(plan.pcie_h2d, clock,
+                                              timing.h2d)
+            overheads.pcie_transfer += timing.h2d
+
+        kernel_time = timing.launch + timing.kernel
+        _start, clock = timeline.schedule(plan.gpu_resource, clock,
+                                          kernel_time)
+        overheads.kernel_launch += timing.launch
+        overheads.gpu_kernel += timing.kernel
+
+        if plan.pays_d2h and timing.d2h > 0:
+            _start, clock = timeline.schedule(plan.pcie_d2h, clock,
+                                              timing.d2h)
+            overheads.pcie_transfer += timing.d2h
+        return clock
+
+    def _split_step(self, plan: _NodePlan, connected: int,
+                    survivors: float, mean_bytes: float,
+                    completion: float, timeline: ResourceTimeline,
+                    overheads: OverheadBreakdown) -> float:
+        """Batch split (classifiers) or duplication (Tee) on fan-out."""
+        if connected > 1 and not plan.is_tee:
+            split_time = self.cost.split_seconds(max(1, round(survivors)))
+            _start, completion = timeline.schedule(
+                plan.merge_resource, completion, split_time,
+            )
+            overheads.batch_split += split_time
+        if plan.is_tee and connected > 1:
+            dup_time = self.cost.duplicate_seconds(
+                max(1, round(survivors)),
+                survivors * mean_bytes * (connected - 1),
+            )
+            _start, completion = timeline.schedule(
+                plan.merge_resource, completion, dup_time,
+            )
+            overheads.duplication += dup_time
+        return completion
+
+    @staticmethod
+    def _fanout_step(plan: _NodePlan, fractions: Dict[int, float],
+                     survivors: float, completion: float,
+                     inbox: Dict[str, List[_Token]]) -> None:
+        for port, fraction in fractions.items():
+            share = survivors * fraction
+            if share <= _EPSILON_PACKETS:
+                continue
+            for dst in plan.edges_by_port.get(port, ()):
+                inbox[dst].append(_Token(ready=completion, packets=share))
+
+    # ------------------------------------------------------------------
+    def measure_capacity(self, spec: TrafficSpec,
+                         batch_size: int = 64,
+                         batch_count: int = 200,
+                         branch_profile=None,
+                         saturation_gbps: float = 200.0,
+                         **interference) -> float:
+        """Saturation throughput in Gbps (offered load >> capacity)."""
+        saturated = TrafficSpec(
+            offered_gbps=max(spec.offered_gbps, saturation_gbps),
+            size_law=spec.size_law,
+            protocol=spec.protocol,
+            ip_version=spec.ip_version,
+            flow_count=spec.flow_count,
+            seed=spec.seed,
+            payload_maker=spec.payload_maker,
+            match_profile=spec.match_profile,
+        )
+        report = self.run(saturated, batch_size=batch_size,
+                          batch_count=batch_count,
+                          branch_profile=branch_profile, **interference)
+        return report.throughput_gbps

@@ -129,6 +129,12 @@ class ThroughputLatencyReport:
     latency: LatencyStats
     overheads: OverheadBreakdown = field(default_factory=OverheadBreakdown)
     processor_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Accumulated queueing delay per resource: how long tasks waited
+    #: (start - ready) before the resource had a fitting gap.  Filled
+    #: by the event kernel; empty for reports from older code paths.
+    processor_queue_wait_seconds: Dict[str, float] = field(
+        default_factory=dict
+    )
 
     @property
     def throughput_gbps(self) -> float:
@@ -156,6 +162,35 @@ class ThroughputLatencyReport:
         return {
             proc: busy / self.makespan_seconds
             for proc, busy in sorted(self.processor_busy_seconds.items())
+        }
+
+    def bottleneck_processor(self) -> Optional[str]:
+        """The resource with the most committed busy time.
+
+        At saturation this is the pipeline's capacity-limiting
+        processor; ties break towards the lexicographically first
+        resource name so the answer is deterministic.
+        """
+        if not self.processor_busy_seconds:
+            return None
+        return max(sorted(self.processor_busy_seconds),
+                   key=lambda proc: self.processor_busy_seconds[proc])
+
+    @property
+    def total_queue_wait_seconds(self) -> float:
+        """Summed queueing delay across all resources."""
+        return sum(self.processor_queue_wait_seconds.values())
+
+    def queue_wait_fractions(self) -> Dict[str, float]:
+        """Each resource's share of the total queueing delay."""
+        total = self.total_queue_wait_seconds
+        if total <= 0:
+            return {}
+        return {
+            proc: wait / total
+            for proc, wait in sorted(
+                self.processor_queue_wait_seconds.items())
+            if wait > 0
         }
 
     def summary(self) -> str:

@@ -35,6 +35,7 @@ from repro.validate.invariants import (
     InvariantViolation,
     ValidatingRecorder,
     verify_packet_conservation,
+    verify_timeline,
 )
 from repro.validate.partition_oracle import (
     DEFAULT_BOUND_FACTORS,
@@ -60,6 +61,7 @@ __all__ = [
     "InvariantViolation",
     "ValidatingRecorder",
     "verify_packet_conservation",
+    "verify_timeline",
     "DEFAULT_BOUND_FACTORS",
     "MAX_BRUTE_FORCE_NODES",
     "OracleError",

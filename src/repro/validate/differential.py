@@ -251,14 +251,15 @@ def run_differential(chain_spec: ChainSpec,
                      with_partition: bool = True) -> DifferentialReport:
     """Differentially validate one chain against its golden model.
 
-    Builds the chain three times: once for the sequential golden model,
-    once for the functional candidate (kept pristine), and — when
-    ``with_partition`` — once more for the GTA allocation, whose
-    profiling traffic would otherwise pollute stateful elements before
-    the differential trace runs.  The allocator's mapping is then
-    transplanted onto the pristine candidate graph by node id and
-    validated, so the checked deployment is the reorganized *and*
-    partitioned one.
+    Builds the chain twice: once for the sequential golden model and
+    once for the functional candidate (kept pristine).  When
+    ``with_partition``, the GTA allocation runs on a
+    :meth:`~repro.elements.graph.ElementGraph.clone` of the candidate
+    graph, whose profiling traffic would otherwise pollute stateful
+    elements before the differential trace runs.  The allocator's
+    mapping is then transplanted onto the pristine candidate graph by
+    node id and validated, so the checked deployment is the
+    reorganized *and* partitioned one.
     """
     from repro.core.compass import NFCompass
     from repro.sim.mapping import Deployment
@@ -277,13 +278,11 @@ def run_differential(chain_spec: ChainSpec,
 
     mapping = None
     if with_partition:
-        # Third instantiation: allocation profiles sample traffic
-        # through its graph, warming stateful elements — keep that away
-        # from the pristine candidate.
-        structural_sfc = chain_spec.build()
-        _plan, _synth, structural_graph = compass.build_graph(structural_sfc)
+        # Allocation profiles sample traffic through its graph,
+        # warming stateful elements — run it on an independent clone
+        # to keep that away from the pristine candidate.
         mapping, _report = compass.allocator.allocate(
-            structural_graph, spec, batch_size=batch_size,
+            graph.clone(), spec, batch_size=batch_size,
         )
         deployment = Deployment(graph=graph, mapping=mapping,
                                 persistent_kernel=compass.persistent_kernel,

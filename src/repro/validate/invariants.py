@@ -11,6 +11,12 @@ packet conservation (delivered never exceeds offered).
 pushes real packets through an :class:`~repro.elements.graph.ElementGraph`
 and checks that merges/branches neither duplicate nor invent packets,
 and that every missing packet is attributable to an element drop.
+
+:func:`verify_timeline` audits the event kernel's
+:class:`~repro.sim.kernel.ResourceTimeline` after a run: committed
+busy blocks must be sorted and pairwise disjoint, busy/queue-wait
+bookkeeping must match the committed intervals, and no resource may
+record negative waiting time.
 """
 
 from __future__ import annotations
@@ -114,6 +120,49 @@ class ValidatingRecorder(EventRecorder):
                     f"arrived at {arrival}"
                 )
         super().record_batch(batch_index, arrival, completion, delivered)
+
+
+# ---------------------------------------------------------------------------
+# Resource timeline integrity
+# ---------------------------------------------------------------------------
+
+def verify_timeline(timeline) -> List[str]:
+    """Audit a :class:`~repro.sim.kernel.ResourceTimeline` after a run.
+
+    Checks, per resource: busy blocks are well-formed (end >= start),
+    sorted, and pairwise disjoint (no resource is ever double-booked);
+    the busy-seconds total matches the committed block widths; and the
+    accumulated queueing delay is non-negative.  Returns a list of
+    violations (empty = the timeline is consistent).
+    """
+    problems: List[str] = []
+    for resource in timeline.resources():
+        blocks = timeline.intervals(resource)
+        for start, end in blocks:
+            if end < start - _TOLERANCE:
+                problems.append(
+                    f"{resource}: busy block ({start}, {end}) ends "
+                    "before it starts"
+                )
+        for (_s1, e1), (s2, _e2) in zip(blocks, blocks[1:]):
+            if s2 < e1 - _TOLERANCE:
+                problems.append(
+                    f"{resource}: busy blocks overlap "
+                    f"(..., {e1}) and ({s2}, ...) — double booking"
+                )
+        busy = timeline.busy.get(resource, 0.0)
+        span = timeline.busy_span(resource)
+        if abs(span - busy) > max(1e-6, 1e-9 * abs(busy)):
+            problems.append(
+                f"{resource}: committed block width {span} disagrees "
+                f"with busy-seconds bookkeeping {busy}"
+            )
+        if timeline.queue_wait.get(resource, 0.0) < -_TOLERANCE:
+            problems.append(
+                f"{resource}: negative accumulated queue wait "
+                f"{timeline.queue_wait[resource]}"
+            )
+    return problems
 
 
 # ---------------------------------------------------------------------------

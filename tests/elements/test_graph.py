@@ -205,6 +205,24 @@ class TestRewriting:
         assert "x/rx" in clone
         assert clone.edges[0].src.startswith("x/")
 
+    def test_clone_deep_copies_elements(self):
+        graph = linear_graph()
+        clone = graph.clone()
+        assert clone.element("count") is not graph.element("count")
+        assert set(clone.nodes) == set(graph.nodes)
+        assert clone.edges == graph.edges
+
+    def test_clone_isolates_element_state(self):
+        from repro.net.batch import PacketBatch
+        from repro.net.packet import Packet
+        graph = linear_graph()
+        clone = graph.clone()
+        clone.run_batch(PacketBatch([Packet() for _ in range(8)]))
+        # Traffic through the clone must not pollute the original's
+        # counters (the profiling-pollution fix relies on this).
+        assert clone.element("count").packets_processed == 8
+        assert graph.element("count").packets_processed == 0
+
     def test_remove_node_with_splice(self):
         graph = linear_graph()
         graph.remove_node("count", splice=True)

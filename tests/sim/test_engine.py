@@ -8,6 +8,7 @@ from repro.elements.standard import Counter, FromDevice, HashSwitch, \
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
 from repro.sim.engine import BranchProfile, SimulationEngine, _Resources
+from repro.sim.kernel import ResourceTimeline
 from repro.sim.mapping import Deployment, Mapping, Placement
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficSpec
@@ -31,46 +32,83 @@ def simple_deployment(nf_type="ipv4", ratio=0.0, persistent=False):
 
 
 class TestResources:
+    def test_engine_alias_is_timeline(self):
+        # Backwards-compat: the old private name still resolves.
+        assert _Resources is ResourceTimeline
+
     def test_sequential_scheduling(self):
-        resources = _Resources()
-        s1, e1 = resources.schedule("cpu0", 0.0, 1.0)
-        s2, e2 = resources.schedule("cpu0", 0.0, 1.0)
+        timeline = ResourceTimeline()
+        s1, e1 = timeline.schedule("cpu0", 0.0, 1.0)
+        s2, e2 = timeline.schedule("cpu0", 0.0, 1.0)
         assert (s1, e1) == (0.0, 1.0)
         assert (s2, e2) == (1.0, 2.0)
 
     def test_gap_filling(self):
-        resources = _Resources()
-        resources.schedule("cpu0", 0.0, 1.0)        # [0, 1]
-        resources.schedule("cpu0", 5.0, 1.0)        # [5, 6]
-        start, end = resources.schedule("cpu0", 0.0, 2.0)
+        timeline = ResourceTimeline()
+        timeline.schedule("cpu0", 0.0, 1.0)         # [0, 1]
+        timeline.schedule("cpu0", 5.0, 1.0)         # [5, 6]
+        start, end = timeline.schedule("cpu0", 0.0, 2.0)
         assert (start, end) == (1.0, 3.0)           # fills the gap
 
     def test_gap_too_small_skipped(self):
-        resources = _Resources()
-        resources.schedule("cpu0", 0.0, 1.0)        # [0, 1]
-        resources.schedule("cpu0", 2.0, 1.0)        # [2, 3]
-        start, _end = resources.schedule("cpu0", 0.0, 1.5)
+        timeline = ResourceTimeline()
+        timeline.schedule("cpu0", 0.0, 1.0)         # [0, 1]
+        timeline.schedule("cpu0", 2.0, 1.0)         # [2, 3]
+        start, _end = timeline.schedule("cpu0", 0.0, 1.5)
         assert start == 3.0                         # 1-wide gap skipped
 
     def test_busy_accounting(self):
-        resources = _Resources()
-        resources.schedule("cpu0", 0.0, 1.0)
-        resources.schedule("cpu0", 0.0, 2.0)
-        assert resources.busy["cpu0"] == 3.0
+        timeline = ResourceTimeline()
+        timeline.schedule("cpu0", 0.0, 1.0)
+        timeline.schedule("cpu0", 0.0, 2.0)
+        assert timeline.busy["cpu0"] == 3.0
+        assert timeline.busy_span("cpu0") == 3.0
+
+    def test_queue_wait_accounting(self):
+        timeline = ResourceTimeline()
+        timeline.schedule("cpu0", 0.0, 1.0)         # starts on time
+        timeline.schedule("cpu0", 0.0, 2.0)         # waits 1.0
+        assert timeline.queue_wait["cpu0"] == pytest.approx(1.0)
+        assert timeline.task_counts["cpu0"] == 2
 
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError):
-            _Resources().schedule("cpu0", 0.0, -1.0)
+            ResourceTimeline().schedule("cpu0", 0.0, -1.0)
 
     def test_intervals_stay_sorted(self):
-        resources = _Resources()
+        timeline = ResourceTimeline()
         for ready, duration in [(5.0, 1.0), (0.0, 1.0), (2.0, 0.5),
                                 (0.0, 0.6), (9.0, 0.1)]:
-            resources.schedule("r", ready, duration)
-        slots = resources.intervals["r"]
+            timeline.schedule("r", ready, duration)
+        slots = timeline.intervals("r")
         assert slots == sorted(slots)
         for (s1, e1), (s2, e2) in zip(slots, slots[1:]):
-            assert e1 <= s2  # no overlaps
+            assert e1 <= s2  # non-overlapping (abutting allowed)
+
+    def test_abutting_slots_kept_distinct(self):
+        timeline = ResourceTimeline()
+        timeline.schedule("r", 0.0, 1.0)
+        timeline.schedule("r", 2.0, 1.0)
+        timeline.schedule("r", 0.0, 1.0)            # fills [1, 2] exactly
+        # Slots stay as committed — the seams matter to zero-duration
+        # placements, so abutting slots are not merged.
+        assert timeline.intervals("r") == [(0.0, 1.0), (1.0, 2.0),
+                                           (2.0, 3.0)]
+        assert timeline.busy["r"] == pytest.approx(3.0)
+
+    def test_zero_duration_fits_in_seam(self):
+        timeline = ResourceTimeline()
+        timeline.schedule("r", 0.0, 1.0)
+        timeline.schedule("r", 0.0, 1.0)            # abuts: [1, 2]
+        start, end = timeline.schedule("r", 1.0, 0.0)
+        assert start == end == 1.0                  # seam is reachable
+
+    def test_zero_duration_commits_nothing(self):
+        timeline = ResourceTimeline()
+        timeline.schedule("r", 0.0, 1.0)
+        start, end = timeline.schedule("r", 0.5, 0.0)
+        assert start == end == 1.0                  # pushed past the block
+        assert timeline.intervals("r") == [(0.0, 1.0)]
 
 
 class TestEngineInvariants:

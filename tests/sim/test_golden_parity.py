@@ -1,0 +1,183 @@
+"""Golden parity: the event kernel vs the frozen pre-refactor engine.
+
+The kernel rewrite (``repro.sim.kernel``) must be behavior-preserving:
+on identical deployments, traffic, and branch profiles it must produce
+the same reports as the legacy engine kept verbatim in
+``repro.sim.legacy`` — every scalar and every per-processor total
+within 1e-9 relative tolerance.
+
+Three seeded scenarios cover the interesting regimes:
+
+- a CPU-only multi-core chain driven by a measured branch profile
+  (merges, splits, drops, no GPU paths);
+- a partially offloaded chain (ratio 0.6) with the persistent kernel
+  and stateful reassembly (re-merge + reassembly paths);
+- a branchy multi-GPU deployment mixing full and partial offload
+  across two GPUs (PCIe lanes, boundary-crossing flags, fan-out).
+
+The quick versions run in tier-1; ``@pytest.mark.slow`` variants
+replay the same scenarios at longer horizons.
+"""
+
+import pytest
+
+from repro.elements.offload import OffloadableElement
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.sim.engine import BranchProfile, SimulationEngine
+from repro.sim.legacy import LegacySimulationEngine
+from repro.sim.mapping import Deployment, Mapping, Placement
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficSpec
+
+REL = 1e-9
+
+
+def chain_graph(*types):
+    return ServiceFunctionChain(
+        [make_nf(t) for t in types]
+    ).concatenated_graph()
+
+
+def cpu_only_scenario():
+    """Multi-core CPU chain with a measured (drop/branch) profile."""
+    spec = TrafficSpec(size_law=FixedSize(128), offered_gbps=60.0,
+                       seed=11)
+    graph = chain_graph("firewall", "ids", "nat")
+    deployment = Deployment(
+        graph, Mapping.all_cpu(graph, cores=[f"cpu{i}" for i in range(4)]),
+        name="golden-cpu",
+    )
+    profile = BranchProfile.measure(graph.clone(), spec,
+                                    sample_packets=256, batch_size=32)
+    return deployment, spec, profile
+
+
+def partial_offload_scenario():
+    """Offload ratio 0.6, persistent kernel, stateful reassembly."""
+    spec = TrafficSpec(size_law=FixedSize(256), offered_gbps=80.0,
+                       seed=23)
+    graph = chain_graph("ipsec", "ids")
+    mapping = Mapping.fixed_ratio(graph, 0.6,
+                                  cores=["cpu0", "cpu1", "cpu2"],
+                                  gpus=["gpu0"])
+    deployment = Deployment(graph, mapping, persistent_kernel=True,
+                            stateful_reassembly=True,
+                            name="golden-partial")
+    profile = BranchProfile.measure(graph.clone(), spec,
+                                    sample_packets=256, batch_size=32)
+    return deployment, spec, profile
+
+
+def multi_gpu_scenario():
+    """Branchy graph: offloadables spread over gpu0/gpu1 at ratio 0.7."""
+    spec = TrafficSpec(size_law=FixedSize(192), offered_gbps=80.0,
+                       seed=31)
+    graph = chain_graph("firewall", "ipsec", "dpi", "ipv4")
+    placements = {}
+    core_index = 0
+    gpu_index = 0
+    for node in graph.topological_order():
+        element = graph.element(node)
+        core = f"cpu{core_index % 6}"
+        core_index += 1
+        if isinstance(element, OffloadableElement) and element.offloadable:
+            ratio = 1.0 if gpu_index % 2 == 0 else 0.7
+            placements[node] = Placement(
+                cpu_processor=core,
+                gpu_processor=f"gpu{gpu_index % 2}",
+                offload_ratio=ratio,
+            )
+            gpu_index += 1
+        else:
+            placements[node] = Placement(cpu_processor=core)
+    deployment = Deployment(graph, Mapping(placements),
+                            persistent_kernel=True,
+                            name="golden-multigpu")
+    profile = BranchProfile.measure(graph.clone(), spec,
+                                    sample_packets=256, batch_size=32)
+    return deployment, spec, profile
+
+
+SCENARIOS = {
+    "cpu_only": cpu_only_scenario,
+    "partial_offload": partial_offload_scenario,
+    "multi_gpu": multi_gpu_scenario,
+}
+
+
+def assert_reports_match(new, old):
+    assert new.name == old.name
+    assert new.offered_gbps == pytest.approx(old.offered_gbps, rel=REL)
+    assert new.delivered_packets == pytest.approx(
+        old.delivered_packets, rel=REL)
+    assert new.delivered_bytes == pytest.approx(
+        old.delivered_bytes, rel=REL)
+    assert new.dropped_packets == pytest.approx(
+        old.dropped_packets, rel=REL, abs=1e-9)
+    assert new.makespan_seconds == pytest.approx(
+        old.makespan_seconds, rel=REL)
+    assert new.throughput_gbps == pytest.approx(
+        old.throughput_gbps, rel=REL)
+    assert new.latency.samples == old.latency.samples
+    for attr in ("mean", "p50", "p95", "p99", "max", "variance"):
+        assert getattr(new.latency, attr) == pytest.approx(
+            getattr(old.latency, attr), rel=REL, abs=1e-15), attr
+    for attr in ("cpu_compute", "gpu_kernel", "kernel_launch",
+                 "pcie_transfer", "batch_split", "batch_merge",
+                 "duplication", "xor_merge", "reassembly"):
+        assert getattr(new.overheads, attr) == pytest.approx(
+            getattr(old.overheads, attr), rel=REL, abs=1e-15), attr
+    assert set(new.processor_busy_seconds) == \
+        set(old.processor_busy_seconds)
+    for resource, busy in old.processor_busy_seconds.items():
+        assert new.processor_busy_seconds[resource] == pytest.approx(
+            busy, rel=REL, abs=1e-15), resource
+
+
+def run_both(scenario, batch_size, batch_count, **interference):
+    deployment, spec, profile = SCENARIOS[scenario]()
+    new = SimulationEngine().run(
+        deployment, spec, batch_size=batch_size, batch_count=batch_count,
+        branch_profile=profile, **interference,
+    )
+    old = LegacySimulationEngine().run(
+        deployment, spec, batch_size=batch_size, batch_count=batch_count,
+        branch_profile=profile, **interference,
+    )
+    return new, old
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_parity_quick(scenario):
+    new, old = run_both(scenario, batch_size=32, batch_count=60)
+    assert_reports_match(new, old)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_parity_with_interference(scenario):
+    new, old = run_both(scenario, batch_size=32, batch_count=40,
+                        cpu_time_inflation=1.3,
+                        co_run_pressure_bytes=2e6,
+                        gpu_corun_kernels=2)
+    assert_reports_match(new, old)
+
+
+def test_golden_parity_session_reuse():
+    """A reused session stays in parity run after run."""
+    deployment, spec, profile = partial_offload_scenario()
+    session = SimulationEngine().session(deployment)
+    legacy = LegacySimulationEngine()
+    for batch_count in (20, 45, 60):
+        new = session.run(spec, batch_size=32, batch_count=batch_count,
+                          branch_profile=profile)
+        old = legacy.run(deployment, spec, batch_size=32,
+                         batch_count=batch_count, branch_profile=profile)
+        assert_reports_match(new, old)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_parity_long_horizon(scenario):
+    new, old = run_both(scenario, batch_size=64, batch_count=1500)
+    assert_reports_match(new, old)

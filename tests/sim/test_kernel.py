@@ -1,0 +1,190 @@
+"""Unit tests for the event kernel (sessions + timelines).
+
+The scheduling semantics of :class:`ResourceTimeline` are covered in
+``test_engine.py`` (TestResources) and the property suites; this file
+exercises the :class:`SimulationSession` layer — precomputed
+invariants, session reuse, the new utilization/queue-wait report
+fields — and pins a quick parity check against the frozen legacy
+engine (the full golden matrix lives in ``test_golden_parity.py``).
+"""
+
+import pytest
+
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.sim.engine import BranchProfile, SimulationEngine
+from repro.sim.kernel import SimulationSession
+from repro.sim.legacy import LegacySimulationEngine
+from repro.sim.mapping import Deployment, Mapping
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficSpec
+
+
+@pytest.fixture
+def spec():
+    return TrafficSpec(size_law=FixedSize(128), offered_gbps=40.0, seed=7)
+
+
+def chain_deployment(nf_types=("firewall", "ids"), ratio=0.0,
+                     persistent=False):
+    graph = ServiceFunctionChain(
+        [make_nf(t) for t in nf_types]
+    ).concatenated_graph()
+    if ratio > 0:
+        mapping = Mapping.fixed_ratio(graph, ratio,
+                                      cores=["cpu0", "cpu1", "cpu2"],
+                                      gpus=["gpu0"])
+    else:
+        mapping = Mapping.all_cpu(graph, cores=["cpu0", "cpu1", "cpu2"])
+    return Deployment(graph, mapping, persistent_kernel=persistent,
+                      name="kernel-test")
+
+
+class TestSessionInvariants:
+    def test_session_precomputes_graph_invariants(self, engine):
+        deployment = chain_deployment(ratio=0.5)
+        session = engine.session(deployment)
+        assert isinstance(session, SimulationSession)
+        assert list(session.order) == \
+            deployment.graph.topological_order()
+        assert set(session.source_nodes) == set(deployment.graph.sources())
+        assert session.sink_nodes == frozenset(deployment.graph.sinks())
+        assert set(session.plans) == set(session.order)
+
+    def test_plans_capture_offload_and_pcie(self, engine):
+        deployment = chain_deployment(ratio=0.5)
+        session = engine.session(deployment)
+        offloaded = [p for p in session.plans.values()
+                     if p.offload_ratio > 0.0]
+        assert offloaded, "fixed_ratio mapping should offload something"
+        for plan in offloaded:
+            assert plan.gpu_resource == "gpu0"
+            assert plan.pcie_h2d == "pcie:gpu0:h2d"
+            assert plan.pcie_d2h == "pcie:gpu0:d2h"
+            # A CPU/GPU-split node always crosses the PCIe boundary.
+            assert plan.pays_h2d and plan.pays_d2h
+
+    def test_session_reuse_is_deterministic(self, engine, spec):
+        session = engine.session(chain_deployment(ratio=0.5))
+        first = session.run(spec, batch_size=32, batch_count=20)
+        second = session.run(spec, batch_size=32, batch_count=20)
+        assert first.throughput_gbps == second.throughput_gbps
+        assert first.latency.mean == second.latency.mean
+        assert first.processor_busy_seconds == \
+            second.processor_busy_seconds
+
+    def test_session_matches_engine_facade(self, engine, spec):
+        deployment = chain_deployment(ratio=0.5)
+        via_session = engine.session(deployment).run(
+            spec, batch_size=32, batch_count=20
+        )
+        via_facade = engine.run(deployment, spec, batch_size=32,
+                                batch_count=20)
+        assert via_session.throughput_gbps == via_facade.throughput_gbps
+        assert via_session.processor_busy_seconds == \
+            via_facade.processor_busy_seconds
+
+    def test_last_timeline_kept_for_auditing(self, engine, spec):
+        from repro.validate.invariants import verify_timeline
+        session = engine.session(chain_deployment(ratio=0.5))
+        assert session.last_timeline is None
+        session.run(spec, batch_size=32, batch_count=20)
+        timeline = session.last_timeline
+        assert timeline is not None
+        assert timeline.resources()
+        assert verify_timeline(timeline) == []
+
+
+class TestReportExtensions:
+    def test_queue_wait_fields_populated(self, engine):
+        saturating = TrafficSpec(size_law=FixedSize(128),
+                                 offered_gbps=200.0)
+        report = engine.session(chain_deployment()).run(
+            saturating, batch_size=32, batch_count=40
+        )
+        assert report.processor_queue_wait_seconds
+        assert all(w >= 0.0 for w in
+                   report.processor_queue_wait_seconds.values())
+        assert report.total_queue_wait_seconds == pytest.approx(
+            sum(report.processor_queue_wait_seconds.values())
+        )
+        fractions = report.queue_wait_fractions()
+        # Zero-wait resources are elided from the fraction view.
+        assert set(fractions) <= set(report.processor_queue_wait_seconds)
+        if fractions:
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_bottleneck_is_busiest_processor(self, engine, spec):
+        report = engine.session(chain_deployment(ratio=0.5)).run(
+            spec, batch_size=32, batch_count=20
+        )
+        bottleneck = report.bottleneck_processor()
+        assert bottleneck in report.processor_busy_seconds
+        assert report.processor_busy_seconds[bottleneck] == \
+            max(report.processor_busy_seconds.values())
+
+    def test_bottleneck_none_without_work(self):
+        from repro.sim.metrics import LatencyStats, ThroughputLatencyReport
+        report = ThroughputLatencyReport(
+            name="empty", offered_gbps=1.0, delivered_packets=0.0,
+            delivered_bytes=0.0, dropped_packets=0.0,
+            makespan_seconds=1.0, latency=LatencyStats(),
+        )
+        assert report.bottleneck_processor() is None
+        assert report.total_queue_wait_seconds == 0.0
+
+
+class TestMeasureCapacity:
+    def test_saturation_gbps_parameter(self, engine, spec):
+        session = engine.session(chain_deployment())
+        default = session.measure_capacity(spec, batch_size=32,
+                                           batch_count=20)
+        explicit = session.measure_capacity(spec, batch_size=32,
+                                            batch_count=20,
+                                            saturation_gbps=200.0)
+        assert default == explicit
+        # A saturation load below the offered load never lowers the
+        # probe: the saturating spec takes the max of the two.
+        floor = session.measure_capacity(spec, batch_size=32,
+                                         batch_count=20,
+                                         saturation_gbps=1.0)
+        assert floor > 0
+
+    def test_facade_forwards_saturation_gbps(self, engine, spec):
+        deployment = chain_deployment()
+        via_engine = engine.measure_capacity(
+            deployment, spec, batch_size=32, batch_count=20,
+            saturation_gbps=150.0,
+        )
+        via_session = engine.session(deployment).measure_capacity(
+            spec, batch_size=32, batch_count=20, saturation_gbps=150.0,
+        )
+        assert via_engine == via_session
+
+
+class TestLegacyParitySmoke:
+    """Quick tier-1 parity pin; the golden matrix is the slow suite."""
+
+    def test_partial_offload_parity(self, platform, spec):
+        deployment = chain_deployment(ratio=0.6, persistent=True)
+        profile = BranchProfile.measure(
+            deployment.graph.clone(), spec, sample_packets=128,
+            batch_size=32,
+        )
+        new = SimulationEngine(platform).run(
+            deployment, spec, batch_size=32, batch_count=30,
+            branch_profile=profile,
+        )
+        old = LegacySimulationEngine(platform).run(
+            deployment, spec, batch_size=32, batch_count=30,
+            branch_profile=profile,
+        )
+        assert new.throughput_gbps == pytest.approx(
+            old.throughput_gbps, rel=1e-9)
+        assert new.latency.mean == pytest.approx(
+            old.latency.mean, rel=1e-9)
+        assert new.makespan_seconds == pytest.approx(
+            old.makespan_seconds, rel=1e-9)
+        for key, value in old.processor_busy_seconds.items():
+            assert new.processor_busy_seconds[key] == pytest.approx(
+                value, rel=1e-9)

@@ -98,3 +98,36 @@ class TestReport:
 
     def test_summary_mentions_name(self):
         assert "test" in self._report().summary()
+
+    def test_bottleneck_processor_picks_max_busy(self):
+        report = self._report(processor_busy_seconds={
+            "cpu0": 1e-4, "gpu0": 5e-4, "pcie:gpu0:h2d": 3e-4,
+        })
+        assert report.bottleneck_processor() == "gpu0"
+
+    def test_bottleneck_ties_break_deterministically(self):
+        report = self._report(processor_busy_seconds={
+            "cpu1": 5e-4, "cpu0": 5e-4,
+        })
+        assert report.bottleneck_processor() == "cpu0"
+
+    def test_bottleneck_none_when_idle(self):
+        assert self._report().bottleneck_processor() is None
+
+    def test_total_queue_wait(self):
+        report = self._report(processor_queue_wait_seconds={
+            "cpu0": 2e-4, "gpu0": 3e-4,
+        })
+        assert report.total_queue_wait_seconds == pytest.approx(5e-4)
+
+    def test_queue_wait_fractions(self):
+        report = self._report(processor_queue_wait_seconds={
+            "cpu0": 1e-4, "gpu0": 3e-4, "cpu1": 0.0,
+        })
+        fractions = report.queue_wait_fractions()
+        assert fractions["cpu0"] == pytest.approx(0.25)
+        assert fractions["gpu0"] == pytest.approx(0.75)
+        assert "cpu1" not in fractions  # idle resources are elided
+
+    def test_queue_wait_fractions_empty_without_waits(self):
+        assert self._report().queue_wait_fractions() == {}
