@@ -36,6 +36,7 @@ from repro.core.orchestrator import SFCOrchestrator  # noqa: E402
 from repro.elements.offload import OffloadableElement  # noqa: E402
 from repro.nf.base import ServiceFunctionChain  # noqa: E402
 from repro.nf.catalog import make_nf  # noqa: E402
+from repro.obs import Trace  # noqa: E402
 from repro.sim.engine import BranchProfile, SimulationEngine  # noqa: E402
 from repro.sim.legacy import LegacySimulationEngine  # noqa: E402
 from repro.sim.mapping import Deployment, Mapping, Placement  # noqa: E402
@@ -164,6 +165,19 @@ def run_scenario(name, factory):
     session.run(spec, **kwargs)
     reuse_seconds = time.perf_counter() - t0
 
+    # Observability overhead: the same cached-session run with a live
+    # Trace attached.  Stage-granularity spans mean the delta should be
+    # noise; the number is recorded (and printed by CI) but not gated
+    # here — single runs on shared machines jitter more than the
+    # effect being measured.
+    trace = Trace(name=f"bench:{name}")
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs, trace=trace)
+    traced_seconds = time.perf_counter() - t0
+    obs_overhead_pct = (
+        100.0 * (traced_seconds - reuse_seconds) / reuse_seconds
+    )
+
     recorder = EventRecorder()
     session.run(spec, **kwargs, recorder=recorder)
     events = len(recorder.node_events)
@@ -180,13 +194,17 @@ def run_scenario(name, factory):
         "legacy_seconds": round(legacy_seconds, 6),
         "kernel_seconds": round(kernel_seconds, 6),
         "session_reuse_seconds": round(reuse_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "obs_overhead_pct": round(obs_overhead_pct, 2),
+        "trace_spans": len(trace.spans),
         "speedup": round(legacy_seconds / kernel_seconds, 3),
         "reuse_speedup": round(legacy_seconds / reuse_seconds, 3),
         "parity_ok": _parity_ok(new_report, old_report),
     }
     print(f"{name:8s} nodes={node_count:3d} batches={batch_count:5d} "
           f"legacy={legacy_seconds:8.3f}s kernel={kernel_seconds:8.3f}s "
-          f"speedup={row['speedup']:6.2f}x parity={row['parity_ok']}")
+          f"speedup={row['speedup']:6.2f}x "
+          f"obs={obs_overhead_pct:+5.1f}% parity={row['parity_ok']}")
     return row
 
 

@@ -19,26 +19,43 @@ Platform* (HPCA 2018).  The package provides:
 - :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
-from repro.core.compass import NFCompass
+from repro.core.adaptation import AdaptiveRuntime
+from repro.core.compass import (
+    CompassPlan,
+    DeploymentResult,
+    NFCompass,
+    ProfileConfig,
+)
+from repro.core.multi import MultiTenantScheduler
 from repro.core.orchestrator import SFCOrchestrator
 from repro.core.synthesizer import NFSynthesizer
 from repro.core.allocator import GraphTaskAllocator
 from repro.nf.catalog import NF_CATALOG, make_nf
 from repro.hw.platform import PlatformSpec
+from repro.obs import Trace, use_trace
 from repro.sim.engine import SimulationEngine
+from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "NFCompass",
-    "SFCOrchestrator",
-    "NFSynthesizer",
+    "AdaptiveRuntime",
+    "CompassPlan",
+    "DeploymentResult",
     "GraphTaskAllocator",
+    "MultiTenantScheduler",
+    "NFCompass",
+    "NFSynthesizer",
     "NF_CATALOG",
-    "make_nf",
     "PlatformSpec",
+    "ProfileConfig",
+    "SFCOrchestrator",
     "SimulationEngine",
+    "SimulationSession",
     "ThroughputLatencyReport",
+    "Trace",
+    "make_nf",
+    "use_trace",
     "__version__",
 ]

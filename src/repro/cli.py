@@ -7,8 +7,11 @@ Entry points::
     repro experiments list             # available paper harnesses
     repro experiments run fig06        # regenerate one figure
     repro deploy -c firewall,ids,lb    # NFCompass a chain and simulate
+    repro deploy -c ids,nat --trace out.ndjson  # ... and trace it
+    repro trace out.ndjson             # per-stage wall-time summary
     repro validate --chains 25 --seed 0  # differential + oracle checks
     repro config run my.click          # parse + simulate a Click config
+    repro --version
 
 Also usable as ``python -m repro ...``.
 """
@@ -16,6 +19,7 @@ Also usable as ``python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
 import sys
 from typing import List, Optional
@@ -35,10 +39,14 @@ EXPERIMENTS = {
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NFCompass reproduction (HPCA 2018) command line",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     nf_parser = subparsers.add_parser("nf", help="network function catalog")
@@ -57,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_run.add_argument("--full", action="store_true",
                          help="full scale (default: quick)")
+    exp_run.add_argument("--trace", metavar="PATH", default=None,
+                         help="write an NDJSON observability trace of "
+                              "the harness run to PATH")
 
     deploy = subparsers.add_parser(
         "deploy", help="deploy a chain with NFCompass and simulate it"
@@ -74,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--algorithm", choices=("kl", "agglomerative"),
                         default="kl")
     deploy.add_argument("--seed", type=int, default=1)
+    deploy.add_argument("--trace", metavar="PATH", default=None,
+                        help="write an NDJSON observability trace of "
+                             "the deployment pipeline to PATH")
+
+    trace = subparsers.add_parser(
+        "trace", help="summarize an NDJSON trace written by --trace"
+    )
+    trace.add_argument("path", help="NDJSON trace file")
+    trace.add_argument("--sim-spans", type=int, default=5,
+                       help="simulated-time spans to list (default 5)")
 
     validate = subparsers.add_parser(
         "validate",
@@ -160,12 +181,21 @@ def _cmd_experiments_list() -> int:
     return 0
 
 
-def _cmd_experiments_run(name: str, full: bool) -> int:
+def _cmd_experiments_run(name: str, full: bool,
+                         trace_path: Optional[str] = None) -> int:
+    from repro.obs import Trace, use_trace
+
     module = importlib.import_module(EXPERIMENTS[name])
-    try:
-        print(module.main(quick=not full))
-    except TypeError:
-        print(module.main())
+    trace = Trace(name=f"experiments/{name}") if trace_path else None
+    with (use_trace(trace) if trace is not None
+          else contextlib.nullcontext()):
+        try:
+            print(module.main(quick=not full))
+        except TypeError:
+            print(module.main())
+    if trace is not None:
+        trace.write_ndjson(trace_path)
+        print(f"trace: {len(trace.spans)} spans -> {trace_path}")
     return 0
 
 
@@ -188,21 +218,40 @@ def _cmd_deploy(args) -> int:
         print(f"unknown NF types {unknown}; known: "
               f"{sorted(NF_CATALOG)}", file=sys.stderr)
         return 2
+    from repro.obs import NULL_TRACE, Trace
+
     spec = _make_spec(args.packet_size, args.load, args.seed)
     sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
     compass = NFCompass(platform=PlatformSpec.paper_testbed(),
                         algorithm=args.algorithm)
-    plan = compass.deploy(sfc, spec, batch_size=args.batch)
-    print(plan.describe())
-    session = plan.session or compass.engine.session(plan.deployment)
-    report = session.run(spec, batch_size=args.batch,
-                         batch_count=args.batches)
+    trace = Trace(name=f"deploy:{args.chain}") if args.trace \
+        else NULL_TRACE
+    result = compass.run(sfc, spec, batch_size=args.batch,
+                         batch_count=args.batches, trace=trace)
+    print(result.plan.describe())
+    report = result.report
     print(report.summary())
     bottleneck = report.bottleneck_processor()
     if bottleneck is not None:
         utilization = report.utilization().get(bottleneck, 0.0)
         print(f"bottleneck: {bottleneck} "
               f"({utilization:.0%} busy over the makespan)")
+    if args.trace:
+        trace.write_ndjson(args.trace)
+        print(f"trace: {len(trace.spans)} spans -> {args.trace}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import Trace, format_trace_summary
+
+    try:
+        trace = Trace.read_ndjson(args.path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.path!r}: {error}",
+              file=sys.stderr)
+        return 2
+    print(format_trace_summary(trace, top_sim_spans=args.sim_spans))
     return 0
 
 
@@ -263,8 +312,7 @@ def _cmd_validate(args) -> int:
 
     print(f"[3/3] engine invariants: {args.engine_runs} simulated "
           f"deployments under the ValidatingRecorder")
-    from repro.core.compass import NFCompass
-    from repro.sim.engine import BranchProfile
+    from repro.core.compass import NFCompass, ProfileConfig
     from repro.validate.invariants import InvariantViolation, \
         verify_timeline
     for index in range(args.engine_runs):
@@ -282,11 +330,10 @@ def _cmd_validate(args) -> int:
         plan = compass.deploy(sfc, traffic, batch_size=args.batch)
         # The measured branch profile tells the analytic engine how
         # much traffic each edge and merge carries; without it, merge
-        # dedup is invisible and conservation trips falsely.  Measure
-        # on a clone so the deployed graph stays pristine.
-        profile = BranchProfile.measure(
-            plan.deployment.graph.clone(), traffic, sample_packets=256,
-            batch_size=args.batch,
+        # dedup is invisible and conservation trips falsely.
+        profile = plan.profile(
+            traffic,
+            ProfileConfig(sample_packets=256, batch_size=args.batch),
         )
         session = plan.session or compass.engine.session(plan.deployment)
         recorder = ValidatingRecorder(batch_size=args.batch)
@@ -348,9 +395,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiments":
         if args.exp_command == "list":
             return _cmd_experiments_list()
-        return _cmd_experiments_run(args.name, args.full)
+        return _cmd_experiments_run(args.name, args.full, args.trace)
     if args.command == "deploy":
         return _cmd_deploy(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "config":

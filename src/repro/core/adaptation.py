@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.compass import CompassPlan, NFCompass
+from repro.core.compass import CompassPlan, NFCompass, ProfileConfig
 from repro.nf.base import ServiceFunctionChain
+from repro.obs import resolve_trace
 from repro.sim.engine import BranchProfile
+from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 from repro.traffic.generator import TrafficSpec
 
@@ -86,7 +88,8 @@ class AdaptiveRuntime:
                  initial_spec: TrafficSpec,
                  batch_size: int = 64,
                  drift_threshold: float = 0.25,
-                 cooldown_epochs: int = 1):
+                 cooldown_epochs: int = 1,
+                 trace=None):
         if drift_threshold <= 0:
             raise ValueError("drift threshold must be positive")
         if cooldown_epochs < 0:
@@ -96,23 +99,31 @@ class AdaptiveRuntime:
         self.batch_size = batch_size
         self.drift_threshold = drift_threshold
         self.cooldown_epochs = cooldown_epochs
+        self.trace = resolve_trace(trace)
         self._cooldown = 0
         self._epoch = 0
         self.history: List[EpochResult] = []
         self.replans = 0
         self.plan: CompassPlan = compass.deploy(
-            sfc, initial_spec, batch_size=batch_size
+            sfc, initial_spec, batch_size=batch_size, trace=self.trace
         )
+        self.session: SimulationSession = self._session_for(self.plan)
         self._profile = self._measure_profile(initial_spec)
         self._descriptor = TrafficDescriptor.of(initial_spec,
                                                 self._profile)
 
     # ------------------------------------------------------------------
+    def _session_for(self, plan: CompassPlan) -> SimulationSession:
+        """Reuse the deploy-time session when the capacity race built
+        one; every epoch of this plan then hits its cached invariants."""
+        if plan.session is None:
+            plan.session = self.compass.engine.session(plan.deployment)
+        return plan.session
+
     def _measure_profile(self, spec: TrafficSpec) -> BranchProfile:
-        return BranchProfile.measure(
-            self.plan.deployment.graph, spec,
-            sample_packets=max(128, self.batch_size * 2),
-            batch_size=self.batch_size,
+        return self.plan.profile(
+            spec, ProfileConfig.deploy_time(self.batch_size),
+            trace=self.trace,
         )
 
     def observe_drift(self, spec: TrafficSpec) -> float:
@@ -128,7 +139,9 @@ class AdaptiveRuntime:
         replanned = False
         if drift > self.drift_threshold and self._cooldown == 0:
             self.plan = self.compass.deploy(self.sfc, spec,
-                                            batch_size=self.batch_size)
+                                            batch_size=self.batch_size,
+                                            trace=self.trace)
+            self.session = self._session_for(self.plan)
             self._profile = self._measure_profile(spec)
             self._descriptor = TrafficDescriptor.of(spec, self._profile)
             self._cooldown = self.cooldown_epochs
@@ -136,10 +149,11 @@ class AdaptiveRuntime:
             replanned = True
         elif self._cooldown > 0:
             self._cooldown -= 1
-        report = self.compass.engine.run(
-            self.plan.deployment, spec,
+        report = self.session.run(
+            spec,
             batch_size=self.batch_size, batch_count=batch_count,
             branch_profile=self._profile,
+            trace=self.trace,
         )
         result = EpochResult(epoch=self._epoch, report=report,
                              drift=drift, replanned=replanned)

@@ -32,6 +32,7 @@ from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement
 from repro.hw.costs import BatchStats, CostModel
 from repro.hw.platform import PlatformSpec
+from repro.obs import resolve_trace
 from repro.sim.engine import BranchProfile
 from repro.sim.mapping import Mapping, Placement
 from repro.traffic.generator import TrafficSpec
@@ -87,32 +88,53 @@ class GraphTaskAllocator:
     # ------------------------------------------------------------------
     def allocate(self, graph: ElementGraph, spec: TrafficSpec,
                  batch_size: int = 64,
-                 branch_profile: Optional[BranchProfile] = None
-                 ) -> Tuple[Mapping, AllocationReport]:
+                 branch_profile: Optional[BranchProfile] = None,
+                 trace=None) -> Tuple[Mapping, AllocationReport]:
         """Map ``graph`` onto the platform for traffic ``spec``."""
-        profile = branch_profile or BranchProfile.measure(
-            graph, spec, sample_packets=max(256, batch_size * 4),
-            batch_size=batch_size,
-        )
-        shares = node_traffic_shares(graph, profile)
-        expanded = expand_graph(graph, delta=self.delta)
-        self._attach_weights(expanded, spec, batch_size, shares)
+        trace = resolve_trace(trace)
+        with trace.span("allocate", graph=graph.name,
+                        algorithm=self.algorithm) as alloc_span:
+            if branch_profile is not None:
+                profile = branch_profile
+            else:
+                with trace.span("profile", graph=graph.name):
+                    profile = BranchProfile.measure(
+                        graph, spec,
+                        sample_packets=max(256, batch_size * 4),
+                        batch_size=batch_size,
+                    )
+            shares = node_traffic_shares(graph, profile)
+            with trace.span("expand", delta=self.delta) as span:
+                expanded = expand_graph(graph, delta=self.delta)
+                self._attach_weights(expanded, spec, batch_size, shares)
+                span.set(instances=len(expanded.instances))
+                trace.count("expansion.virtual_instances",
+                            len(expanded.instances))
 
-        if self.algorithm == "kl":
-            partition = kernighan_lin_partition(
-                expanded.pgraph, cpu_cores=len(self.cpu_cores),
-                gpu_units=len(self.gpus),
-            )
-        else:
-            partition = agglomerative_partition(
-                expanded.pgraph, cpu_cores=len(self.cpu_cores),
-                gpu_units=len(self.gpus),
-            )
+            with trace.span("partition",
+                            algorithm=self.algorithm) as span:
+                if self.algorithm == "kl":
+                    partition = kernighan_lin_partition(
+                        expanded.pgraph, cpu_cores=len(self.cpu_cores),
+                        gpu_units=len(self.gpus), trace=trace,
+                    )
+                else:
+                    partition = agglomerative_partition(
+                        expanded.pgraph, cpu_cores=len(self.cpu_cores),
+                        gpu_units=len(self.gpus), trace=trace,
+                    )
+                span.set(objective=partition.objective,
+                         cut_weight=partition.cut_weight,
+                         gpu_instances=len(partition.gpu_nodes))
 
-        ratios = self._collapse_ratios(graph, expanded, partition)
-        mapping, core_assignment, core_loads = self._lower(
-            graph, spec, batch_size, shares, ratios
-        )
+            with trace.span("lower"):
+                ratios = self._collapse_ratios(graph, expanded, partition)
+                mapping, core_assignment, core_loads = self._lower(
+                    graph, spec, batch_size, shares, ratios
+                )
+            alloc_span.set(
+                offloaded=sum(1 for r in ratios.values() if r > 0)
+            )
         report = AllocationReport(
             partition=partition,
             offload_ratios=ratios,

@@ -4,14 +4,20 @@
 chain: SFC orchestrator (parallelization) -> NF synthesizer
 (element-level redundancy elimination) -> graph-partition task
 allocator -> a runnable :class:`~repro.sim.mapping.Deployment` with
-the persistent-kernel GPU design enabled.
+the persistent-kernel GPU design enabled.  ``NFCompass.run`` deploys
+and simulates in one call, returning a :class:`DeploymentResult` that
+bundles the chosen plan, the simulation report, the reusable
+simulation session, and the observability trace.
 
 Each stage can be disabled for ablation (the Section V methodology
-evaluates the re-organization and the allocation separately).
+evaluates the re-organization and the allocation separately), and
+every stage records spans/metrics on the ambient or explicitly passed
+:class:`~repro.obs.Trace`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -22,11 +28,47 @@ from repro.elements.graph import ElementGraph
 from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
 from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.obs import NULL_TRACE, Trace, resolve_trace
 from repro.sim.engine import BranchProfile, SimulationEngine
 from repro.sim.kernel import SimulationSession
 from repro.sim.mapping import Deployment, Mapping
 from repro.sim.metrics import ThroughputLatencyReport
 from repro.traffic.generator import TrafficSpec
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """How to measure a :class:`~repro.sim.engine.BranchProfile`.
+
+    The deploy-time capacity race and the final simulation used to
+    inline two slightly different ``BranchProfile.measure`` calls;
+    this dataclass is the single source of truth for their kwargs.
+    ``sample_packets`` wins when set; otherwise the sample size is
+    ``max(min_sample_packets, batch_size * sample_batches)``.
+    """
+
+    batch_size: int = 64
+    sample_packets: Optional[int] = None
+    min_sample_packets: int = 128
+    sample_batches: int = 2
+
+    @classmethod
+    def deploy_time(cls, batch_size: int) -> "ProfileConfig":
+        """The quick profile used by the deploy-time capacity race."""
+        return cls(batch_size=batch_size)
+
+    @classmethod
+    def run_time(cls, batch_size: int) -> "ProfileConfig":
+        """The larger sample used before a full simulation run."""
+        return cls(batch_size=batch_size, min_sample_packets=256,
+                   sample_batches=4)
+
+    @property
+    def resolved_sample_packets(self) -> int:
+        if self.sample_packets is not None:
+            return self.sample_packets
+        return max(self.min_sample_packets,
+                   self.batch_size * self.sample_batches)
 
 
 @dataclass
@@ -50,6 +92,47 @@ class CompassPlan:
             return self.parallel_plan.effective_length
         return self.sfc.length
 
+    # -- result-style accessors ----------------------------------------
+    @property
+    def graph(self) -> ElementGraph:
+        """The deployed element graph."""
+        return self.deployment.graph
+
+    @property
+    def mapping(self) -> Mapping:
+        """The element-to-processor mapping GTA chose."""
+        return self.deployment.mapping
+
+    @property
+    def partition(self):
+        """The :class:`~repro.core.partition.PartitionResult`."""
+        return self.allocation_report.partition
+
+    @property
+    def offload_ratios(self):
+        """Per-element offload ratios (node id -> fraction on GPU)."""
+        return self.allocation_report.offload_ratios
+
+    def profile(self, spec: TrafficSpec,
+                config: Optional[ProfileConfig] = None,
+                trace=None) -> BranchProfile:
+        """Measure a branch profile for this plan's deployment.
+
+        Profiling runs on a clone so the deployed graph's element
+        state never carries warmed-up profiling traffic into a
+        simulated run or a golden-model comparison.
+        """
+        config = config or ProfileConfig()
+        trace = resolve_trace(trace)
+        with trace.span("profile", graph=self.deployment.graph.name,
+                        sample_packets=config.resolved_sample_packets,
+                        batch_size=config.batch_size):
+            return BranchProfile.measure(
+                self.deployment.graph.clone(), spec,
+                sample_packets=config.resolved_sample_packets,
+                batch_size=config.batch_size,
+            )
+
     def describe(self) -> str:
         lines = [f"NFCompass plan for {self.sfc.name}:"]
         if self.parallel_plan is not None:
@@ -61,6 +144,60 @@ class CompassPlan:
             lines.append("  " + self.synthesis_report.summary())
         lines.append("  " + self.allocation_report.summary())
         return "\n".join(lines)
+
+
+@dataclass
+class DeploymentResult:
+    """What :meth:`NFCompass.run` returns: plan, report, session, trace.
+
+    ``report`` is the :class:`ThroughputLatencyReport` the old API
+    returned bare; ``plan`` is the chosen :class:`CompassPlan`;
+    ``session`` is the reusable
+    :class:`~repro.sim.kernel.SimulationSession` for follow-up runs;
+    ``trace`` is the :class:`~repro.obs.Trace` that observed the
+    pipeline (the shared null trace when tracing was off).
+
+    For the transition, report attributes are still reachable directly
+    on the result (``result.throughput_gbps`` ...), but such access
+    warns with :class:`DeprecationWarning` — new code should read
+    ``result.report.throughput_gbps``.
+    """
+
+    plan: CompassPlan
+    report: ThroughputLatencyReport
+    session: SimulationSession
+    trace: Trace = NULL_TRACE
+
+    @property
+    def deployment(self) -> Deployment:
+        return self.plan.deployment
+
+    def summary(self) -> str:
+        """The report's one-line summary (stable across the redesign)."""
+        return self.report.summary()
+
+    def describe(self) -> str:
+        """Plan description plus the simulation summary."""
+        return f"{self.plan.describe()}\n{self.report.summary()}"
+
+    def __getattr__(self, name: str):
+        # Deprecation shim: NFCompass.run used to return the bare
+        # ThroughputLatencyReport; forward its attributes with a
+        # warning so un-migrated positional/attribute use keeps
+        # working for one deprecation cycle.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        report = self.__dict__.get("report")
+        if report is not None and hasattr(report, name):
+            warnings.warn(
+                f"accessing {name!r} on DeploymentResult is deprecated; "
+                f"use DeploymentResult.report.{name}",
+                DeprecationWarning, stacklevel=2,
+            )
+            return getattr(report, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
 
 class NFCompass:
@@ -98,36 +235,44 @@ class NFCompass:
 
     # ------------------------------------------------------------------
     def build_graph(self, sfc: ServiceFunctionChain,
-                    max_width: Optional[int] = None):
+                    max_width: Optional[int] = None,
+                    trace=None):
         """Re-organization only: (parallel plan, synthesized graph)."""
+        trace = resolve_trace(trace)
         parallel_plan = None
         if self.enable_parallelization:
             parallel_plan, graph = self.orchestrator.parallelize(
-                sfc, max_width=max_width
+                sfc, max_width=max_width, trace=trace
             )
         else:
             graph = sfc.concatenated_graph()
         synthesis_report = None
         if self.enable_synthesis:
-            graph, synthesis_report = self.synthesizer.synthesize(graph)
+            graph, synthesis_report = self.synthesizer.synthesize(
+                graph, trace=trace
+            )
         return parallel_plan, synthesis_report, graph
 
     def _plan_candidate(self, sfc: ServiceFunctionChain,
                         spec: TrafficSpec, batch_size: int,
                         parallelize: bool,
-                        max_width: Optional[int]) -> CompassPlan:
+                        max_width: Optional[int],
+                        trace=None) -> CompassPlan:
+        trace = resolve_trace(trace)
         parallel_plan = None
         if parallelize:
             parallel_plan, graph = self.orchestrator.parallelize(
-                sfc, max_width=max_width
+                sfc, max_width=max_width, trace=trace
             )
         else:
             graph = sfc.concatenated_graph()
         synthesis_report = None
         if self.enable_synthesis:
-            graph, synthesis_report = self.synthesizer.synthesize(graph)
+            graph, synthesis_report = self.synthesizer.synthesize(
+                graph, trace=trace
+            )
         mapping, allocation_report = self.allocator.allocate(
-            graph, spec, batch_size=batch_size,
+            graph, spec, batch_size=batch_size, trace=trace,
         )
         deployment = Deployment(
             graph=graph,
@@ -147,8 +292,8 @@ class NFCompass:
     def deploy(self, sfc: ServiceFunctionChain, spec: TrafficSpec,
                batch_size: int = 64,
                max_width: Optional[int] = None,
-               branch_profile: Optional[BranchProfile] = None
-               ) -> CompassPlan:
+               branch_profile: Optional[BranchProfile] = None,
+               trace=None) -> CompassPlan:
         """Run the full Fig. 9 pipeline for one SFC.
 
         Re-organization is *profile-guided*: parallelization pays a
@@ -159,33 +304,43 @@ class NFCompass:
         parallelized and the sequential deployment against the traffic
         profile and keeps the one with the higher simulated capacity.
         """
+        trace = resolve_trace(trace)
+        with trace.span("deploy", sfc=sfc.name,
+                        batch_size=batch_size) as span:
+            plan = self._deploy(sfc, spec, batch_size, max_width, trace)
+            span.set(parallelized=plan.parallel_plan is not None,
+                     effective_length=plan.effective_length)
+        return plan
+
+    def _deploy(self, sfc: ServiceFunctionChain, spec: TrafficSpec,
+                batch_size: int, max_width: Optional[int],
+                trace) -> CompassPlan:
         candidates = [
             self._plan_candidate(sfc, spec, batch_size,
-                                 parallelize=False, max_width=max_width)
+                                 parallelize=False, max_width=max_width,
+                                 trace=trace)
         ]
         if self.enable_parallelization and sfc.length > 1:
             candidates.append(
                 self._plan_candidate(sfc, spec, batch_size,
                                      parallelize=True,
-                                     max_width=max_width)
+                                     max_width=max_width,
+                                     trace=trace)
             )
+        trace.count("compass.candidates_evaluated", len(candidates))
         if len(candidates) == 1:
             return candidates[0]
+        profile_config = ProfileConfig.deploy_time(batch_size)
         capacities = []
         for plan in candidates:
-            # Profile a clone: the deployed graph's element state must
-            # not carry warmed-up profiling traffic into the simulated
-            # run or into golden-model comparisons.
-            profile = BranchProfile.measure(
-                plan.deployment.graph.clone(), spec,
-                sample_packets=max(128, batch_size * 2),
-                batch_size=batch_size,
-            )
+            profile = plan.profile(spec, profile_config, trace=trace)
             plan.session = self.engine.session(plan.deployment)
-            capacities.append(plan.session.measure_capacity(
+            capacity = plan.session.measure_capacity(
                 spec, batch_size=batch_size,
-                batch_count=40, branch_profile=profile,
-            ))
+                batch_count=40, branch_profile=profile, trace=trace,
+            )
+            capacities.append(capacity)
+            trace.observe("compass.candidate_capacity_gbps", capacity)
         sequential_plan, parallel_plan_candidate = candidates
         sequential_capacity, parallel_capacity = capacities
         # The paper's acceptance criterion: take the latency-reducing
@@ -198,19 +353,31 @@ class NFCompass:
     def run(self, sfc: ServiceFunctionChain, spec: TrafficSpec,
             batch_size: int = 64,
             batch_count: int = 200,
-            max_width: Optional[int] = None) -> ThroughputLatencyReport:
-        """Deploy and simulate in one call."""
-        plan = self.deploy(sfc, spec, batch_size=batch_size,
-                           max_width=max_width)
-        profile = BranchProfile.measure(
-            plan.deployment.graph.clone(), spec,
-            sample_packets=max(256, batch_size * 4),
-            batch_size=batch_size,
-        )
-        session = plan.session or self.engine.session(plan.deployment)
-        return session.run(
-            spec,
-            batch_size=batch_size,
-            batch_count=batch_count,
-            branch_profile=profile,
-        )
+            max_width: Optional[int] = None,
+            trace=None) -> DeploymentResult:
+        """Deploy and simulate in one call.
+
+        Returns a :class:`DeploymentResult`; the previous bare
+        :class:`ThroughputLatencyReport` is its ``report`` field (and
+        report attributes remain reachable on the result itself under
+        a :class:`DeprecationWarning`).
+        """
+        trace = resolve_trace(trace)
+        with trace.span("run", sfc=sfc.name, batch_size=batch_size,
+                        batch_count=batch_count):
+            plan = self.deploy(sfc, spec, batch_size=batch_size,
+                               max_width=max_width, trace=trace)
+            profile = plan.profile(
+                spec, ProfileConfig.run_time(batch_size), trace=trace
+            )
+            session = plan.session or self.engine.session(plan.deployment)
+            plan.session = session
+            report = session.run(
+                spec,
+                batch_size=batch_size,
+                batch_count=batch_count,
+                branch_profile=profile,
+                trace=trace,
+            )
+        return DeploymentResult(plan=plan, report=report,
+                                session=session, trace=trace)

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.actions import hazards_between, parallelizable
 from repro.core.merge import OriginalSnapshot, XorMerge
+from repro.obs import resolve_trace
 from repro.elements.graph import ElementGraph
 from repro.elements.standard import Tee
 from repro.nf.base import NetworkFunction, ServiceFunctionChain
@@ -184,13 +185,19 @@ class SFCOrchestrator:
         return graph
 
     def parallelize(self, sfc: ServiceFunctionChain,
-                    max_width: Optional[int] = None) -> Tuple[
-                        ParallelPlan, ElementGraph]:
+                    max_width: Optional[int] = None,
+                    trace=None) -> Tuple[ParallelPlan, ElementGraph]:
         """Analyze + materialize in one call."""
-        plan = self.analyze(sfc, max_width=max_width)
-        graph = self.build_stage_graph(
-            plan.stages, name=f"{sfc.name}/parallel"
-        )
+        trace = resolve_trace(trace)
+        with trace.span("parallelize", sfc=sfc.name,
+                        nfs=sfc.length) as span:
+            plan = self.analyze(sfc, max_width=max_width)
+            graph = self.build_stage_graph(
+                plan.stages, name=f"{sfc.name}/parallel"
+            )
+            span.set(stages=plan.effective_length,
+                     max_parallelism=plan.max_parallelism,
+                     conflicts=len(plan.conflicts))
         return plan, graph
 
 

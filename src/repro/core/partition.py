@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.obs import resolve_trace
+
 #: How much of the PCIe cut contributes to the per-batch makespan.
 #: 0 would mean transfers overlap perfectly with compute; 1 would mean
 #: they serialize; the engine's duplex DMA pipelining sits in between.
@@ -133,9 +135,15 @@ def _movable(graph: nx.Graph, node: str) -> bool:
 
 
 def _greedy_initial(graph: nx.Graph, cpu_cores: int,
-                    gpu_units: int = 1) -> Set[str]:
+                    gpu_units: int = 1, trace=None) -> Set[str]:
     """Seed the KL refinement: offload nodes whose GPU time is cheaper
-    than their fair share of CPU time, cheapest-relative first."""
+    than their fair share of CPU time, cheapest-relative first.
+
+    Each accepted candidate moves one delta-share virtual instance to
+    the GPU side, i.e. one offload-ratio step for its element; the
+    steps tried are counted on the trace.
+    """
+    trace = resolve_trace(trace)
     gpu_nodes: Set[str] = set()
     candidates = [n for n in graph.nodes if _movable(graph, n)]
     candidates.sort(
@@ -143,6 +151,7 @@ def _greedy_initial(graph: nx.Graph, cpu_cores: int,
                        / max(1e-12, graph.nodes[n].get("cpu_time", 1e-12)))
     )
     best = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]
+    trace.count("partition.offload_steps_tried", len(candidates))
     for node in candidates:
         trial = gpu_nodes | {node}
         objective = evaluate(graph, trial, cpu_cores, gpu_units)[0]
@@ -155,10 +164,13 @@ def _greedy_initial(graph: nx.Graph, cpu_cores: int,
 def kernighan_lin_partition(graph: nx.Graph, cpu_cores: int = 1,
                             max_passes: int = 8,
                             initial_gpu: Optional[Set[str]] = None,
-                            gpu_units: int = 1) -> PartitionResult:
+                            gpu_units: int = 1,
+                            trace=None) -> PartitionResult:
     """Modified KL/FM partitioning with pinned-node support."""
+    trace = resolve_trace(trace)
+    applied_moves = 0
     gpu_nodes = set(initial_gpu) if initial_gpu is not None \
-        else _greedy_initial(graph, cpu_cores, gpu_units)
+        else _greedy_initial(graph, cpu_cores, gpu_units, trace=trace)
     gpu_nodes = {n for n in gpu_nodes if _movable(graph, n)}
     best_objective = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]
 
@@ -264,8 +276,11 @@ def kernighan_lin_partition(graph: nx.Graph, cpu_cores: int = 1,
                 gpu_nodes.remove(node)
             else:
                 gpu_nodes.add(node)
+        applied_moves += best_prefix_index + 1
         best_objective = best_prefix_objective
 
+    trace.count("partition.kl.passes", passes)
+    trace.count("partition.kl.moves", applied_moves)
     objective, cut, cpu_load, gpu_load = evaluate(graph, gpu_nodes,
                                                   cpu_cores, gpu_units)
     all_nodes = set(graph.nodes)
@@ -303,7 +318,8 @@ class _UnionFind:
 def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
                             seed_cpu: Optional[str] = None,
                             seed_gpu: Optional[str] = None,
-                            gpu_units: int = 1) -> PartitionResult:
+                            gpu_units: int = 1,
+                            trace=None) -> PartitionResult:
     """Seed-based agglomerative clustering (the lightweight scheme).
 
     Heaviest edges are contracted first (cutting them would be the most
@@ -311,6 +327,7 @@ def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
     with the GPU seed's cluster.  Clusters ending up attached to
     neither seed are assigned greedily by objective.
     """
+    trace = resolve_trace(trace)
     nodes = list(graph.nodes)
     if not nodes:
         return PartitionResult(set(), set(), 0.0, 0.0, 0.0, 0.0,
@@ -352,6 +369,7 @@ def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
 
     edges = sorted(graph.edges(data=True),
                    key=lambda e: e[2].get("weight", 0.0), reverse=True)
+    merges = 0
     for u, v, _data in edges:
         if not (_movable(graph, u) and _movable(graph, v)):
             # Edges to pinned (CPU-only) elements mark the offload
@@ -367,6 +385,8 @@ def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
         if gpu_root is not None and cpu_root in roots and gpu_root in roots:
             continue  # never fuse the two seed clusters
         uf.union(u, v)
+        merges += 1
+    trace.count("partition.agglo.merges", merges)
 
     cpu_root, gpu_root = cluster_sides()
     gpu_nodes: Set[str] = set()
@@ -382,6 +402,7 @@ def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
     for node in stragglers:
         if not _movable(graph, node):
             continue
+        trace.count("partition.offload_steps_tried")
         with_gpu = evaluate(graph, gpu_nodes | {node},
                             cpu_cores, gpu_units)[0]
         without = evaluate(graph, gpu_nodes, cpu_cores, gpu_units)[0]

@@ -31,6 +31,7 @@ import networkx as nx
 
 from repro.elements.element import ActionProfile, Element, TrafficClass
 from repro.elements.graph import Edge, ElementGraph
+from repro.obs import resolve_trace
 
 
 @dataclass
@@ -84,28 +85,35 @@ class NFSynthesizer:
         self.enable_drop_hoist = enable_drop_hoist
 
     # ------------------------------------------------------------------
-    def synthesize(self, graph: ElementGraph
+    def synthesize(self, graph: ElementGraph, trace=None
                    ) -> Tuple[ElementGraph, SynthesisReport]:
         """Rewrite ``graph``; return (new graph, report).
 
         The input graph is not modified (structure is copied; element
         instances are shared).
         """
-        work = graph.copy()
-        work.name = f"{graph.name}/synth"
-        report = SynthesisReport(
-            nodes_before=len(work),
-            depth_before=work.depth(),
-        )
-        if self.enable_io_splice:
-            report.spliced_io = self._splice_interior_io(work, report)
-        if self.enable_dedup:
-            report.deduplicated = self._deduplicate(work, report)
-        if self.enable_drop_hoist:
-            report.hoisted_drops = self._hoist_drops(work)
-        work.validate()
-        report.nodes_after = len(work)
-        report.depth_after = work.depth()
+        trace = resolve_trace(trace)
+        with trace.span("synthesize", graph=graph.name) as span:
+            work = graph.copy()
+            work.name = f"{graph.name}/synth"
+            report = SynthesisReport(
+                nodes_before=len(work),
+                depth_before=work.depth(),
+            )
+            if self.enable_io_splice:
+                report.spliced_io = self._splice_interior_io(work, report)
+            if self.enable_dedup:
+                report.deduplicated = self._deduplicate(work, report)
+            if self.enable_drop_hoist:
+                report.hoisted_drops = self._hoist_drops(work)
+            work.validate()
+            report.nodes_after = len(work)
+            report.depth_after = work.depth()
+            span.set(nodes_before=report.nodes_before,
+                     nodes_after=report.nodes_after)
+            trace.count("synthesis.removed_elements",
+                        report.nodes_before - report.nodes_after)
+            trace.count("synthesis.hoisted_drops", report.hoisted_drops)
         return work, report
 
     # ------------------------------------------------------------------

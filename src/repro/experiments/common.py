@@ -16,6 +16,7 @@ from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement
 from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
+from repro.obs import resolve_trace
 from repro.sim.engine import BranchProfile, SimulationEngine
 from repro.sim.mapping import Deployment, Mapping, Placement
 from repro.sim.metrics import ThroughputLatencyReport
@@ -104,6 +105,7 @@ def measure(engine: SimulationEngine, deployment: Deployment,
             batch_count: int = 120,
             branch_profile: Optional[BranchProfile] = None,
             latency_load_fraction: float = 0.8,
+            trace=None,
             **interference) -> CapacityLatency:
     """Measure capacity at saturation, then latency at 80 % load.
 
@@ -111,21 +113,28 @@ def measure(engine: SimulationEngine, deployment: Deployment,
     rather than service latency; the paper's latencies are taken at
     offered loads the system can carry.  Both passes share one
     :class:`~repro.sim.kernel.SimulationSession`, so the deployment is
-    validated and its invariants precomputed only once.
+    validated and its invariants precomputed only once.  The ambient
+    or explicitly passed trace sees one ``measure`` span with both
+    simulation passes as children.
     """
+    trace = resolve_trace(trace)
     session = engine.session(deployment)
-    saturation_report = session.run(
-        saturated(spec), batch_size=batch_size,
-        batch_count=batch_count, branch_profile=branch_profile,
-        **interference,
-    )
-    capacity = saturation_report.throughput_gbps
-    loaded = at_load(spec, max(0.05, capacity * latency_load_fraction))
-    latency_report = session.run(
-        loaded, batch_size=batch_size,
-        batch_count=batch_count, branch_profile=branch_profile,
-        **interference,
-    )
+    with trace.span("measure", deployment=deployment.name,
+                    batch_size=batch_size) as span:
+        saturation_report = session.run(
+            saturated(spec), batch_size=batch_size,
+            batch_count=batch_count, branch_profile=branch_profile,
+            trace=trace, **interference,
+        )
+        capacity = saturation_report.throughput_gbps
+        loaded = at_load(spec, max(0.05, capacity * latency_load_fraction))
+        latency_report = session.run(
+            loaded, batch_size=batch_size,
+            batch_count=batch_count, branch_profile=branch_profile,
+            trace=trace, **interference,
+        )
+        span.set(capacity_gbps=capacity,
+                 latency_ms=latency_report.latency.mean_ms)
     return CapacityLatency(
         throughput_gbps=capacity,
         latency_ms=latency_report.latency.mean_ms,

@@ -1,0 +1,164 @@
+"""Pipeline metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is the quantitative half of a
+:class:`~repro.obs.trace.Trace`: where spans answer *where did the
+wall time go*, metrics answer *how much work was done* — candidates
+evaluated by the deploy-time capacity race, Kernighan-Lin passes and
+moves, offload-ratio steps tried by the greedy seeding, simulation
+batches played, session-cache hits.
+
+The registry is deliberately tiny: names are dotted strings, values
+are plain floats/ints, and everything exports to dicts (and from
+there to NDJSON via :mod:`repro.obs.trace`).  A matching null
+implementation backs the disabled-tracing path so instrumented code
+never branches on "is tracing on?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    inc = add
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A small sample distribution (per-candidate capacities etc.)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Optional[List[float]] = None):
+        self.name = name
+        self.values: List[float] = list(values or [])
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+
+class MetricsRegistry:
+    """Name-keyed counters/gauges/histograms, created on first use."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metric values as plain dicts (sorted by name)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value
+                       for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {"count": h.count, "sum": h.sum, "min": h.min,
+                    "max": h.max, "values": list(h.values)}
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NullMetric:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    values: List[float] = []
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    inc = add
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose metrics discard every update (disabled tracing)."""
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]

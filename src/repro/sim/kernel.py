@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.elements.offload import OffloadableElement
 from repro.hw.costs import BatchStats
+from repro.obs import resolve_trace
 from repro.sim.mapping import Deployment, Placement
 from repro.sim.metrics import (
     LatencyStats,
@@ -278,6 +279,9 @@ class SimulationSession:
         #: The ResourceTimeline of the most recent :meth:`run`, kept
         #: for bottleneck inspection and timeline-integrity auditing.
         self.last_timeline: Optional[ResourceTimeline] = None
+        #: Completed :meth:`run` calls; runs after the first reuse the
+        #: cached invariants above (counted as ``session.cache_hits``).
+        self.runs_completed = 0
 
     # ------------------------------------------------------------------
     def _branch_tables(self, profile):
@@ -306,7 +310,7 @@ class SimulationSession:
             cpu_time_inflation: float = 1.0,
             co_run_pressure_bytes: float = 0.0,
             gpu_corun_kernels: int = 0,
-            recorder=None) -> ThroughputLatencyReport:
+            recorder=None, trace=None) -> ThroughputLatencyReport:
         """Simulate ``batch_count`` batches of ``batch_size`` packets.
 
         ``cpu_time_inflation``, ``co_run_pressure_bytes`` and
@@ -314,7 +318,32 @@ class SimulationSession:
         by :class:`~repro.hw.interference.InterferenceModel`.  An
         optional :class:`~repro.sim.tracing.EventRecorder` captures
         per-node scheduling events for debugging and visualization.
+        A :class:`~repro.obs.Trace` records the whole run as one
+        ``simulate`` span (the hot loop itself is never instrumented);
+        when a recorder is also present its per-node activity is
+        bridged into the trace as simulated-time child spans.
         """
+        trace = resolve_trace(trace)
+        with trace.span("simulate", deployment=self.deployment.name,
+                        batch_size=batch_size,
+                        batch_count=batch_count) as sim_span:
+            report = self._run(spec, batch_size, batch_count,
+                               branch_profile, cpu_time_inflation,
+                               co_run_pressure_bytes, gpu_corun_kernels,
+                               recorder)
+        self.runs_completed += 1
+        if self.runs_completed > 1:
+            trace.count("session.cache_hits")
+        trace.count("sim.runs")
+        trace.count("sim.batches", batch_count)
+        if recorder is not None and trace.enabled:
+            self._bridge_recorder(trace, recorder, sim_span.span_id)
+        return report
+
+    def _run(self, spec: TrafficSpec, batch_size: int, batch_count: int,
+             branch_profile, cpu_time_inflation: float,
+             co_run_pressure_bytes: float, gpu_corun_kernels: int,
+             recorder) -> ThroughputLatencyReport:
         if branch_profile is None:
             from repro.sim.engine import BranchProfile
             branch_profile = BranchProfile()
@@ -398,6 +427,33 @@ class SimulationSession:
             processor_busy_seconds=dict(timeline.busy),
             processor_queue_wait_seconds=dict(timeline.queue_wait),
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bridge_recorder(trace, recorder, parent_id) -> None:
+        """Bridge an EventRecorder into the trace as sim-clock spans.
+
+        One aggregated child span per node (first ready time to last
+        completion, simulated seconds) keeps the trace bounded even
+        for long runs; the per-event detail stays on the recorder.
+        """
+        aggregates: Dict[str, List[float]] = {}
+        for event in recorder.node_events:
+            entry = aggregates.get(event.node_id)
+            if entry is None:
+                aggregates[event.node_id] = [event.ready,
+                                             event.completion,
+                                             event.span, 1.0]
+            else:
+                entry[0] = min(entry[0], event.ready)
+                entry[1] = max(entry[1], event.completion)
+                entry[2] += event.span
+                entry[3] += 1.0
+        for node_id in sorted(aggregates):
+            first, last, busy, count = aggregates[node_id]
+            trace.add_span(f"node:{node_id}", first, last,
+                           parent_id=parent_id, events=int(count),
+                           busy_sim_seconds=busy)
 
     # ------------------------------------------------------------------
     # Node-step functions
@@ -537,8 +593,10 @@ class SimulationSession:
                          batch_count: int = 200,
                          branch_profile=None,
                          saturation_gbps: float = 200.0,
+                         trace=None,
                          **interference) -> float:
         """Saturation throughput in Gbps (offered load >> capacity)."""
+        trace = resolve_trace(trace)
         saturated = TrafficSpec(
             offered_gbps=max(spec.offered_gbps, saturation_gbps),
             size_law=spec.size_law,
@@ -549,7 +607,11 @@ class SimulationSession:
             payload_maker=spec.payload_maker,
             match_profile=spec.match_profile,
         )
-        report = self.run(saturated, batch_size=batch_size,
-                          batch_count=batch_count,
-                          branch_profile=branch_profile, **interference)
+        with trace.span("capacity", deployment=self.deployment.name,
+                        saturation_gbps=saturation_gbps) as span:
+            report = self.run(saturated, batch_size=batch_size,
+                              batch_count=batch_count,
+                              branch_profile=branch_profile,
+                              trace=trace, **interference)
+            span.set(capacity_gbps=report.throughput_gbps)
         return report.throughput_gbps

@@ -96,10 +96,13 @@ class TestDeploy:
 class TestRun:
     def test_end_to_end_simulation(self, compass, spec):
         sfc = ServiceFunctionChain([make_nf("firewall"), make_nf("ids")])
-        report = compass.run(sfc, spec, batch_size=32, batch_count=30)
+        result = compass.run(sfc, spec, batch_size=32, batch_count=30)
+        report = result.report
         assert report.throughput_gbps > 0
         assert report.latency.mean > 0
         assert report.delivered_packets > 0
+        assert result.session.runs_completed > 0
+        assert result.plan.deployment is result.deployment
 
     def test_compass_beats_naive_cpu_for_heavy_chain(self, compass, spec):
         """Sanity: the full pipeline outperforms an unoptimized
@@ -110,7 +113,7 @@ class TestRun:
         sfc = ServiceFunctionChain([make_nf(t) for t in sfc_types])
         saturating = common.saturated(spec)
         compass_report = compass.run(sfc, saturating, batch_size=32,
-                                     batch_count=40)
+                                     batch_count=40).report
         baseline_sfc = ServiceFunctionChain(
             [make_nf(t) for t in sfc_types]
         )

@@ -1,0 +1,97 @@
+"""API-surface snapshots.
+
+The redesigned deployment API promises a stable set of top-level
+names; these snapshots fail loudly when an export is dropped or
+renamed, which is an API break that needs a deliberate decision (and a
+deprecation path), not an accident.
+"""
+
+import repro
+import repro.obs
+import repro.sim
+
+REPRO_ALL = [
+    "AdaptiveRuntime",
+    "CompassPlan",
+    "DeploymentResult",
+    "GraphTaskAllocator",
+    "MultiTenantScheduler",
+    "NFCompass",
+    "NFSynthesizer",
+    "NF_CATALOG",
+    "PlatformSpec",
+    "ProfileConfig",
+    "SFCOrchestrator",
+    "SimulationEngine",
+    "SimulationSession",
+    "ThroughputLatencyReport",
+    "Trace",
+    "make_nf",
+    "use_trace",
+    "__version__",
+]
+
+SIM_ALL = [
+    "Placement",
+    "Mapping",
+    "Deployment",
+    "ThroughputLatencyReport",
+    "OverheadBreakdown",
+    "ResourceTimeline",
+    "SimulationSession",
+    "SimulationEngine",
+    "BranchProfile",
+    "EventRecorder",
+    "NodeEvent",
+    "BatchEvent",
+]
+
+OBS_ALL = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "StageSummary",
+    "format_trace_summary",
+    "stage_summary",
+    "NULL_TRACE",
+    "SIM_CLOCK",
+    "WALL_CLOCK",
+    "NullTrace",
+    "Span",
+    "Trace",
+    "current_trace",
+    "resolve_trace",
+    "use_trace",
+]
+
+
+class TestSnapshots:
+    def test_repro_all(self):
+        assert sorted(repro.__all__) == sorted(REPRO_ALL)
+
+    def test_sim_all(self):
+        assert sorted(repro.sim.__all__) == sorted(SIM_ALL)
+
+    def test_obs_all(self):
+        assert sorted(repro.obs.__all__) == sorted(OBS_ALL)
+
+
+class TestResolvable:
+    def test_repro_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_sim_names_resolve(self):
+        for name in repro.sim.__all__:
+            assert getattr(repro.sim, name) is not None, name
+
+    def test_obs_names_resolve(self):
+        for name in repro.obs.__all__:
+            assert getattr(repro.obs, name) is not None, name
+
+    def test_version_is_a_dotted_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

@@ -65,6 +65,66 @@ class TestRun:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_deploy_writes_trace_and_trace_summarizes(self, tmp_path,
+                                                      capsys):
+        trace_path = tmp_path / "deploy.ndjson"
+        code = main(["deploy", "-c", "firewall,nat",
+                     "--packet-size", "128", "--batches", "20",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gbps" in out
+        assert str(trace_path) in out
+        assert trace_path.exists()
+
+        from repro.obs import Trace
+        trace = Trace.read_ndjson(trace_path)
+        names = set(trace.stage_names())
+        for stage in ("parallelize", "synthesize", "expand",
+                      "partition", "simulate"):
+            assert stage in names, f"missing {stage!r} span"
+
+        assert main(["trace", str(trace_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "stage" in summary and "wall ms" in summary
+        assert "partition" in summary
+        assert "compass.candidates_evaluated" in summary
+
+    def test_deploy_without_trace_writes_nothing(self, tmp_path,
+                                                 capsys):
+        code = main(["deploy", "-c", "firewall",
+                     "--packet-size", "128", "--batches", "10"])
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().out
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.ndjson")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_rejects_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text('{"type": "mystery"}\n')
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_experiments_run_with_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "exp.ndjson"
+        code = main(["experiments", "run", "tables",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert trace_path.exists()
+        out = capsys.readouterr().out
+        assert str(trace_path) in out
+
 
 class TestValidate:
     def test_validate_passes(self, capsys):
