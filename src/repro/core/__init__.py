@@ -19,9 +19,19 @@
 - :mod:`repro.core.compass` — the end-to-end runtime facade.
 """
 
-from repro.core.actions import Hazard, hazards_between, parallelizable
+from repro.core.actions import (
+    Hazard,
+    conflicting_write_fields,
+    hazards_between,
+    parallelizable,
+)
 from repro.core.orchestrator import SFCOrchestrator, ParallelPlan
-from repro.core.merge import xor_merge_packets, XorMerge, OriginalSnapshot
+from repro.core.merge import (
+    MergeConflictError,
+    OriginalSnapshot,
+    XorMerge,
+    xor_merge_packets,
+)
 from repro.core.synthesizer import NFSynthesizer, SynthesisReport
 from repro.core.expansion import expand_graph, ExpandedGraph
 from repro.core.profiler import OfflineProfiler, ProfileStore
@@ -37,10 +47,12 @@ from repro.core.multi import MultiTenantScheduler, Tenant
 
 __all__ = [
     "Hazard",
+    "conflicting_write_fields",
     "hazards_between",
     "parallelizable",
     "SFCOrchestrator",
     "ParallelPlan",
+    "MergeConflictError",
     "xor_merge_packets",
     "XorMerge",
     "OriginalSnapshot",

@@ -1,4 +1,4 @@
-"""The Table II/III dependency calculus.
+"""The Table II/III dependency calculus, refined to field granularity.
 
 Two consecutive NFs can run in parallel when duplicating the input to
 both and XOR-merging their outputs produces the same packets as the
@@ -25,14 +25,27 @@ hazards over per-region (header vs payload) read/write sets:
   flows an upstream IDS killed) and diverging every later translation.
   The differential oracle in :mod:`repro.validate` mechanically checks
   this distinction.
+
+On top of the region rules, profiles may declare exact field-level
+read/write sets (:data:`repro.elements.element.PACKET_FIELDS`).  When
+both sides of a RAW/WAW check declare fields, the hazard fires only on
+*overlapping* fields — e.g. a NAT writing ``ip.src``/``l4.ports`` no
+longer conflicts with a proxy that reads only ``payload``, even though
+both touch the header region.  Field sets are closed under derived
+writes (any IP-header write dirties ``ip.checksum``; size changes
+dirty ``ip.len``/``l4.len`` and therefore ``ip.checksum``), which is
+what keeps interacting pairs like "checksum writer vs length writer"
+serialized.  Undeclared profiles fall back to region reasoning, so the
+refinement is monotone: field declarations can only *remove* hazards,
+never invent parallelism for elements that did not opt in.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import FrozenSet, Set
+from typing import FrozenSet, Optional, Set
 
-from repro.elements.element import ActionProfile
+from repro.elements.element import ActionProfile, field_region
 
 
 class Hazard(enum.Enum):
@@ -44,6 +57,46 @@ class Hazard(enum.Enum):
     WAW_PAYLOAD = "waw_payload"
     SIZE_CHANGE = "size_change"
     STATE_AFTER_DROP = "state_after_drop"
+
+
+class _Footprint:
+    """One side of an overlap check: a region set, optionally refined
+    to an exact field set."""
+
+    __slots__ = ("regions", "fields")
+
+    def __init__(self, regions: Set[str],
+                 fields: Optional[FrozenSet[str]]):
+        self.regions = regions
+        self.fields = fields
+
+    def overlap_regions(self, other: "_Footprint") -> Set[str]:
+        """Regions in which the two footprints can touch common bytes."""
+        if self.fields is not None and other.fields is not None:
+            return {field_region(f) for f in self.fields & other.fields}
+        if self.fields is not None:
+            return {field_region(f) for f in self.fields} & other.regions
+        if other.fields is not None:
+            return self.regions & {field_region(f) for f in other.fields}
+        return self.regions & other.regions
+
+
+def _write_footprint(profile: ActionProfile) -> _Footprint:
+    regions: Set[str] = set()
+    if profile.writes_header or profile.adds_removes_bits:
+        regions.add("header")
+    if profile.writes_payload or profile.adds_removes_bits:
+        regions.add("payload")
+    return _Footprint(regions, profile.effective_write_fields())
+
+
+def _read_footprint(profile: ActionProfile) -> _Footprint:
+    regions: Set[str] = set()
+    if profile.reads_header:
+        regions.add("header")
+    if profile.reads_payload:
+        regions.add("payload")
+    return _Footprint(regions, profile.effective_read_fields())
 
 
 def hazards_between(former: ActionProfile,
@@ -63,30 +116,49 @@ def hazards_between(former: ActionProfile,
     if later_stateful and former.drops:
         hazards.add(Hazard.STATE_AFTER_DROP)
 
-    former_writes_header = former.writes_header or former.adds_removes_bits
-    former_writes_payload = former.writes_payload or former.adds_removes_bits
-    later_writes_header = later.writes_header or later.adds_removes_bits
-    later_writes_payload = later.writes_payload or later.adds_removes_bits
+    former_writes = _write_footprint(former)
+    later_writes = _write_footprint(later)
 
-    # RAW: the later NF reads a region the former writes.
-    if former_writes_header and later.reads_header:
+    # RAW: the later NF reads bytes the former writes.
+    raw = former_writes.overlap_regions(_read_footprint(later))
+    if "header" in raw:
         hazards.add(Hazard.RAW_HEADER)
-    if former_writes_payload and later.reads_payload:
+    if "payload" in raw:
         hazards.add(Hazard.RAW_PAYLOAD)
 
-    # WAW on the same region: the XOR merge cannot order the writes.
-    if former_writes_header and later_writes_header:
+    # WAW on common bytes: the XOR merge cannot order the writes.
+    waw = former_writes.overlap_regions(later_writes)
+    if "header" in waw:
         hazards.add(Hazard.WAW_HEADER)
-    if former_writes_payload and later_writes_payload:
+    if "payload" in waw:
         hazards.add(Hazard.WAW_PAYLOAD)
 
-    # Size changes shift byte offsets; any other access conflicts.
+    # Size changes shift byte offsets; any other access conflicts
+    # (field declarations cannot soften this: a shifted offset
+    # invalidates every fixed field position behind it).
     if former.adds_removes_bits or later.adds_removes_bits:
         other = later if former.adds_removes_bits else former
         if other.reads or other.writes:
             hazards.add(Hazard.SIZE_CHANGE)
 
     return frozenset(hazards)
+
+
+def conflicting_write_fields(former: ActionProfile,
+                             later: ActionProfile
+                             ) -> Optional[FrozenSet[str]]:
+    """The exact fields on which two declared writers collide.
+
+    Returns ``None`` when either side declares no field set (region
+    reasoning applies instead); otherwise the — possibly empty —
+    intersection of the closed write sets.  Diagnostics only; the
+    verdict comes from :func:`hazards_between`.
+    """
+    former_fields = former.effective_write_fields()
+    later_fields = later.effective_write_fields()
+    if former_fields is None or later_fields is None:
+        return None
+    return former_fields & later_fields
 
 
 def parallelizable(former: ActionProfile, later: ActionProfile,
@@ -104,4 +176,8 @@ def explain(former: ActionProfile, later: ActionProfile,
     if not hazards:
         return "parallelizable (no RAW/WAW hazards, no size change)"
     reasons = ", ".join(sorted(h.value for h in hazards))
-    return f"not parallelizable: {reasons}"
+    text = f"not parallelizable: {reasons}"
+    fields = conflicting_write_fields(former, later)
+    if fields:
+        text += f" (conflicting fields: {', '.join(sorted(fields))})"
+    return text

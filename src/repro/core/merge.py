@@ -7,24 +7,47 @@ After the branches finish, the merge recovers the combined result:
     combined = diff_1 OR diff_2 OR ... OR diff_k
     merged   = original XOR combined
 
-Because the parallelization criteria guarantee that writer branches
-touch disjoint bits, OR-ing the diffs never conflicts.  A packet
-dropped by any branch is dropped after the merge (the IDS case).  A
-single size-changing branch is tolerated when every other branch left
-the packet untouched (its output is taken verbatim).
+The parallelization criteria guarantee that writer branches touch
+disjoint bits, so OR-ing the diffs never conflicts — but the merge no
+longer *trusts* that guarantee: it checks every byte offset and raises
+a structured :class:`MergeConflictError` when two branches wrote
+different values to the same offset, instead of silently OR-ing the
+interleaved writes into a packet neither sequential order could
+produce.  A packet dropped by any branch is dropped after the merge
+(the IDS case).  A single size-changing branch is tolerated when every
+other branch left the packet untouched (its output is taken verbatim).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.elements.element import ActionProfile, Element, PortSpec, TrafficClass
 from repro.net.batch import PacketBatch
-from repro.net.packet import Packet
+from repro.net.packet import IPv4Header, IPv6Header, Packet, UDPHeader
+
+#: Annotation the duplicating Tee stamps on every clone so the merge
+#: can attribute conflicting writes to a branch by name.
+BRANCH_ANNOTATION = "tee_branch"
 
 
 class MergeConflictError(ValueError):
-    """Raised when branch outputs cannot be merged (size conflict)."""
+    """Branch outputs cannot be merged into one packet.
+
+    Carries structured context for diagnostics: the logical packet
+    ``uid``, the names of the ``branches`` whose writes collide, and
+    the offending byte ``offsets`` into the original wire bytes
+    (empty for size conflicts, where no per-byte attribution exists).
+    """
+
+    def __init__(self, message: str, *,
+                 uid: Optional[int] = None,
+                 branches: Sequence[str] = (),
+                 offsets: Sequence[int] = ()):
+        super().__init__(message)
+        self.uid = uid
+        self.branches = tuple(branches)
+        self.offsets = tuple(offsets)
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
@@ -35,16 +58,80 @@ def _or_bytes(a: bytes, b: bytes) -> bytes:
     return bytes(x | y for x, y in zip(a, b))
 
 
+def _branch_label(packet: Packet, position: int,
+                  branch_names: Optional[Sequence[str]]) -> str:
+    """Human-readable name of the branch a clone came from."""
+    index = packet.annotations.get(BRANCH_ANNOTATION, position)
+    if branch_names is not None and 0 <= index < len(branch_names):
+        return branch_names[index]
+    return f"branch{index}"
+
+
+def _find_delta_conflicts(deltas: Sequence[bytes]) -> Tuple[List[int],
+                                                            List[int]]:
+    """Offsets where two branches wrote different values.
+
+    Returns (conflicting offsets, indices of branches writing there).
+    Two branches writing the *same* new value to an offset produce
+    identical deltas, which OR-compose losslessly — only non-identical
+    overlapping deltas are conflicts.
+    """
+    offsets: List[int] = []
+    writers: set = set()
+    for offset in range(len(deltas[0]) if deltas else 0):
+        seen = set()
+        for index, delta in enumerate(deltas):
+            if delta[offset]:
+                seen.add(delta[offset])
+        if len(seen) > 1:
+            offsets.append(offset)
+            for index, delta in enumerate(deltas):
+                if delta[offset]:
+                    writers.add(index)
+    return offsets, sorted(writers)
+
+
+def _restore_auto_lengths(merged: Packet,
+                          branches: Sequence[Packet]) -> None:
+    """Re-arm the auto-computed length fields after reconstruction.
+
+    ``Packet.to_bytes`` computes IPv4 total length, IPv6 payload
+    length, and UDP length on the fly while their structured value is
+    the 0 sentinel; ``Packet.from_bytes`` necessarily freezes the
+    parsed value.  If every branch kept the sentinel, the sequential
+    execution would have kept it too — so restore it, or a later
+    size-changing NF (e.g. a WAN optimizer compressing the payload)
+    would serialize a stale length and checksum.
+    """
+    if isinstance(merged.ip, IPv4Header) and all(
+            isinstance(b.ip, IPv4Header) and b.ip.total_length == 0
+            for b in branches):
+        merged.ip.total_length = 0
+    if isinstance(merged.ip, IPv6Header) and all(
+            isinstance(b.ip, IPv6Header) and b.ip.payload_length == 0
+            for b in branches):
+        merged.ip.payload_length = 0
+    if isinstance(merged.l4, UDPHeader) and all(
+            isinstance(b.l4, UDPHeader) and b.l4.length == 0
+            for b in branches):
+        merged.l4.length = 0
+
+
 def xor_merge_packets(original_bytes: bytes,
-                      branch_outputs: List[Packet]) -> Packet:
+                      branch_outputs: List[Packet],
+                      branch_names: Optional[Sequence[str]] = None
+                      ) -> Packet:
     """Merge parallel branch outputs of one logical packet.
 
     ``branch_outputs`` must be non-empty; all outputs carry the same
     ``uid``.  Returns the merged packet (bookkeeping fields taken from
-    the first output).
+    the first output).  Raises :class:`MergeConflictError` when two
+    branches resized the packet, a branch wrote next to a resizer, or
+    two branches wrote different values to the same byte offset.
     """
     if not branch_outputs:
         raise ValueError("no branch outputs to merge")
+    uid = branch_outputs[0].uid
     # Identical outputs merge trivially (e.g. identical tenant NFs
     # that transform the packet the same way): no conflict to resolve.
     first_bytes = branch_outputs[0].to_bytes()
@@ -55,13 +142,16 @@ def xor_merge_packets(original_bytes: bytes,
                 merged.annotations.setdefault(key, value)
         return merged
     same_size = [p for p in branch_outputs
-                 if p.to_bytes().__len__() == len(original_bytes)]
+                 if len(p.to_bytes()) == len(original_bytes)]
     resized = [p for p in branch_outputs
                if len(p.to_bytes()) != len(original_bytes)]
     if len(resized) > 1:
         raise MergeConflictError(
             "more than one branch changed the packet size; such NFs "
-            "must not be parallelized (Table III size-change rule)"
+            "must not be parallelized (Table III size-change rule)",
+            uid=uid,
+            branches=[_branch_label(p, branch_outputs.index(p),
+                                    branch_names) for p in resized],
         )
     if resized:
         # The size-changer's output is authoritative; other branches
@@ -69,15 +159,38 @@ def xor_merge_packets(original_bytes: bytes,
         for peer in same_size:
             if peer.to_bytes() != original_bytes:
                 raise MergeConflictError(
-                    "a branch wrote the packet while another resized it"
+                    "a branch wrote the packet while another resized it",
+                    uid=uid,
+                    branches=[
+                        _branch_label(resized[0],
+                                      branch_outputs.index(resized[0]),
+                                      branch_names),
+                        _branch_label(peer, branch_outputs.index(peer),
+                                      branch_names),
+                    ],
                 )
         base = resized[0]
         merged = base.clone()
     else:
+        deltas = [_xor_bytes(original_bytes, output.to_bytes())
+                  for output in branch_outputs]
+        offsets, writer_indices = _find_delta_conflicts(deltas)
+        if offsets:
+            labels = [_branch_label(branch_outputs[i], i, branch_names)
+                      for i in writer_indices]
+            raise MergeConflictError(
+                f"packet uid={uid}: branches {', '.join(labels)} wrote "
+                f"different values to byte offset(s) "
+                f"{', '.join(str(o) for o in offsets[:8])}"
+                + ("..." if len(offsets) > 8 else "")
+                + "; overlapping non-identical writes cannot be "
+                "XOR-merged (the parallelizer must not stage such NFs "
+                "together)",
+                uid=uid, branches=labels, offsets=offsets,
+            )
         combined = bytes(len(original_bytes))
-        for output in branch_outputs:
-            diff = _xor_bytes(original_bytes, output.to_bytes())
-            combined = _or_bytes(combined, diff)
+        for delta in deltas:
+            combined = _or_bytes(combined, delta)
         merged_bytes = _xor_bytes(original_bytes, combined)
         template = branch_outputs[0]
         merged = Packet.from_bytes(
@@ -86,6 +199,7 @@ def xor_merge_packets(original_bytes: bytes,
             seqno=template.seqno,
             arrival_time=template.arrival_time,
         )
+        _restore_auto_lengths(merged, branch_outputs)
     # Union the branch annotations (classification results, alerts...).
     for output in branch_outputs:
         for key, value in output.annotations.items():
@@ -120,7 +234,9 @@ class XorMerge(Element):
     all surviving clones from ``branch_count`` branches.  For each
     packet uid, if fewer than ``branch_count`` clones survived, some
     branch dropped the packet and the merge drops it; otherwise the
-    clones are XOR-merged into one output packet.
+    clones are XOR-merged into one output packet.  ``branch_names``
+    (the stage's NF names, in Tee port order) are used to attribute
+    merge conflicts to the offending branches.
     """
 
     traffic_class = TrafficClass.MODIFIER
@@ -128,11 +244,18 @@ class XorMerge(Element):
                             writes_header=True, writes_payload=True,
                             drops=True)
 
-    def __init__(self, branch_count: int, name: Optional[str] = None):
+    def __init__(self, branch_count: int, name: Optional[str] = None,
+                 branch_names: Optional[Sequence[str]] = None):
         if branch_count < 1:
             raise ValueError("branch_count must be positive")
+        if branch_names is not None and len(branch_names) != branch_count:
+            raise ValueError(
+                f"got {len(branch_names)} branch names for "
+                f"{branch_count} branches"
+            )
         super().__init__(name=name, ports=PortSpec(inputs=1, outputs=1))
         self.branch_count = branch_count
+        self.branch_names = tuple(branch_names) if branch_names else None
         self.merged_count = 0
         self.dropped_by_branch = 0
 
@@ -155,10 +278,13 @@ class XorMerge(Element):
             if original is None:
                 raise MergeConflictError(
                     f"packet uid={uid} reached XorMerge without an "
-                    "OriginalSnapshot annotation"
+                    "OriginalSnapshot annotation",
+                    uid=uid,
                 )
-            merged = xor_merge_packets(original, clones)
+            merged = xor_merge_packets(original, clones,
+                                       branch_names=self.branch_names)
             merged.annotations.pop("orig_bytes", None)
+            merged.annotations.pop(BRANCH_ANNOTATION, None)
             merged_packets.append(merged)
             self.merged_count += 1
         merged_packets.sort(key=lambda p: p.seqno)

@@ -163,7 +163,8 @@ class SFCOrchestrator:
                 )
                 merge_id = graph.add(
                     XorMerge(branch_count=len(stage),
-                             name=f"{prefix}merge")
+                             name=f"{prefix}merge",
+                             branch_names=[nf.name for nf in stage])
                 )
                 graph.connect(snapshot_id, tee_id)
                 for branch_index, nf in enumerate(stage):

@@ -19,11 +19,66 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
 from repro.net.batch import PacketBatch
 
 _element_ids = itertools.count()
+
+
+#: The field taxonomy of the refined (field-granular) Table II/III
+#: calculus: every declarable packet field, mapped to the coarse
+#: region (``"header"`` or ``"payload"``) it lives in.  Field-level
+#: read/write sets are strictly finer than the paper's two regions, so
+#: a declared field must always be covered by the matching region flag
+#: (enforced by :meth:`ActionProfile.__post_init__`).
+PACKET_FIELDS: Dict[str, str] = {
+    "eth.src": "header",
+    "eth.dst": "header",
+    "eth.type": "header",
+    "ip.src": "header",
+    "ip.dst": "header",
+    "ip.proto": "header",
+    "ip.ttl": "header",
+    "ip.tos": "header",
+    "ip.id": "header",
+    "ip.len": "header",
+    "ip.checksum": "header",
+    "l4.ports": "header",
+    "l4.seq": "header",
+    "l4.flags": "header",
+    "l4.len": "header",
+    "payload": "payload",
+}
+
+#: Derived-field dependencies: writing a key field also rewrites the
+#: value fields on the wire.  The IPv4 checksum is recomputed from the
+#: whole IP header at serialization time, so *any* IP-header field
+#: write dirties the checksum bytes — two NFs writing "disjoint" IP
+#: fields still collide on the checksum and must not be XOR-merged.
+DERIVED_WRITES: Dict[str, FrozenSet[str]] = {
+    f: frozenset({"ip.checksum"})
+    for f in ("ip.src", "ip.dst", "ip.proto", "ip.ttl", "ip.tos",
+              "ip.id", "ip.len")
+}
+
+#: Fields implicitly written by any size-changing element: resizing
+#: the payload rewrites the length fields, and ``ip.len`` drags
+#: ``ip.checksum`` along (the derived rule above).
+RESIZE_IMPLIED_WRITES: FrozenSet[str] = frozenset(
+    {"ip.len", "ip.checksum", "l4.len", "payload"}
+)
+
+
+def field_region(field_name: str) -> str:
+    """The coarse region (``"header"``/``"payload"``) of a field."""
+    try:
+        return PACKET_FIELDS[field_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown packet field {field_name!r}; known fields: "
+            f"{sorted(PACKET_FIELDS)}"
+        ) from None
 
 
 class TrafficClass(enum.Enum):
@@ -44,6 +99,15 @@ class ActionProfile:
 
     ``adds_removes_bits`` marks size-changing elements (encapsulation,
     compression); they are the most restrictive for parallelization.
+
+    ``reads_fields``/``writes_fields`` optionally refine the region
+    flags to exact field sets drawn from :data:`PACKET_FIELDS`.  A
+    ``None`` field set means *undeclared*: the calculus falls back to
+    region-level reasoning for that direction, so third-party elements
+    that only set the coarse flags keep the conservative Table III
+    behavior.  Declared fields must stay inside the declared regions
+    (field granularity may only *refine* a region claim, never extend
+    it) — this is what makes the field calculus a monotone refinement.
     """
 
     reads_header: bool = False
@@ -52,9 +116,43 @@ class ActionProfile:
     writes_payload: bool = False
     adds_removes_bits: bool = False
     drops: bool = False
+    reads_fields: Optional[FrozenSet[str]] = None
+    writes_fields: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self):
+        for attr in ("reads_fields", "writes_fields"):
+            value = getattr(self, attr)
+            if value is not None and not isinstance(value, frozenset):
+                object.__setattr__(self, attr, frozenset(value))
+        for field_name in (self.reads_fields or ()):
+            region = field_region(field_name)
+            covered = (self.reads_header if region == "header"
+                       else self.reads_payload)
+            if not covered:
+                raise ValueError(
+                    f"declared read field {field_name!r} lies in the "
+                    f"{region} region but the profile does not read it"
+                )
+        for field_name in (self.writes_fields or ()):
+            region = field_region(field_name)
+            covered = self.adds_removes_bits or (
+                self.writes_header if region == "header"
+                else self.writes_payload
+            )
+            if not covered:
+                raise ValueError(
+                    f"declared write field {field_name!r} lies in the "
+                    f"{region} region but the profile does not write it"
+                )
 
     def union(self, other: "ActionProfile") -> "ActionProfile":
         """Combine profiles (the profile of a composed pipeline)."""
+        def union_fields(mine: Optional[FrozenSet[str]],
+                         theirs: Optional[FrozenSet[str]]):
+            if mine is None or theirs is None:
+                return None
+            return mine | theirs
+
         return ActionProfile(
             reads_header=self.reads_header or other.reads_header,
             reads_payload=self.reads_payload or other.reads_payload,
@@ -62,6 +160,10 @@ class ActionProfile:
             writes_payload=self.writes_payload or other.writes_payload,
             adds_removes_bits=self.adds_removes_bits or other.adds_removes_bits,
             drops=self.drops or other.drops,
+            reads_fields=union_fields(self.effective_read_fields(),
+                                      other.effective_read_fields()),
+            writes_fields=union_fields(self.effective_write_fields(),
+                                       other.effective_write_fields()),
         )
 
     @property
@@ -71,6 +173,38 @@ class ActionProfile:
     @property
     def reads(self) -> bool:
         return self.reads_header or self.reads_payload
+
+    def effective_read_fields(self) -> Optional[FrozenSet[str]]:
+        """The field-level read set, or None when unknown.
+
+        A profile that reads nothing at region level has a *known
+        empty* field set even without declarations; a region reader
+        without field declarations is unknown (``None``).
+        """
+        if self.reads_fields is not None:
+            return self.reads_fields
+        if not self.reads:
+            return frozenset()
+        return None
+
+    def effective_write_fields(self) -> Optional[FrozenSet[str]]:
+        """The field-level write set with derived fields, or None.
+
+        Closes the declared set under the derived-field rules: size
+        changes imply the length/checksum fields
+        (:data:`RESIZE_IMPLIED_WRITES`), and IP-header writes imply
+        ``ip.checksum`` (:data:`DERIVED_WRITES`).
+        """
+        if self.writes_fields is None:
+            if not self.writes:
+                return frozenset()
+            return None
+        closed = set(self.writes_fields)
+        if self.adds_removes_bits:
+            closed |= RESIZE_IMPLIED_WRITES
+        for field_name in tuple(closed):
+            closed |= DERIVED_WRITES.get(field_name, frozenset())
+        return frozenset(closed)
 
 
 @dataclass(frozen=True)

@@ -70,7 +70,10 @@ class CheckIPHeader(Element):
 
     traffic_class = TrafficClass.FILTER
     idempotent = True
-    actions = ActionProfile(reads_header=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, drops=True,
+        reads_fields={"eth.type", "ip.ttl"},
+    )
 
     def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
         survivors: List[Packet] = []
@@ -156,7 +159,11 @@ class DecIPTTL(Element):
     """Decrement IPv4 TTL / IPv6 hop limit; drop expired packets."""
 
     traffic_class = TrafficClass.MODIFIER
-    actions = ActionProfile(reads_header=True, writes_header=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True, drops=True,
+        reads_fields={"eth.type", "ip.ttl"},
+        writes_fields={"ip.ttl"},  # + derived ip.checksum
+    )
 
     def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
         survivors: List[Packet] = []
@@ -183,7 +190,10 @@ class Counter(Element):
     """Read-only packet/byte counter (a probe)."""
 
     traffic_class = TrafficClass.OBSERVER
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"eth.type", "ip.len"},
+    )
 
     def __init__(self, name: Optional[str] = None):
         super().__init__(name=name)
@@ -198,7 +208,12 @@ class Counter(Element):
 
 
 class Tee(Element):
-    """Duplicate every packet to all output ports."""
+    """Duplicate every packet to all output ports.
+
+    Each clone is stamped with a ``tee_branch`` annotation (the output
+    port index) so a downstream :class:`repro.core.merge.XorMerge` can
+    attribute conflicting writes to the branch that made them.
+    """
 
     traffic_class = TrafficClass.CLASSIFIER
     actions = ActionProfile()
@@ -212,10 +227,14 @@ class Tee(Element):
     def process(self, batch: PacketBatch) -> Dict[int, PacketBatch]:
         outputs: Dict[int, PacketBatch] = {0: batch}
         for port in range(1, self.fanout):
+            clones = [p.clone() for p in batch.packets]
+            for clone in clones:
+                clone.annotations["tee_branch"] = port
             outputs[port] = PacketBatch(
-                [p.clone() for p in batch.packets],
-                creation_time=batch.creation_time,
+                clones, creation_time=batch.creation_time,
             )
+        for packet in batch.packets:
+            packet.annotations["tee_branch"] = 0
         return outputs
 
 

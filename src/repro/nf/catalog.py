@@ -18,6 +18,11 @@ Proxy         Y/Y        N/Y           N            N
 
 The forwarders and IPsec (Section III workloads) are added with the
 profiles implied by their semantics.
+
+Each entry's ``actions`` is the NF class's own profile (single source
+of truth): the region flags transcribe Table II, and the optional
+``reads_fields``/``writes_fields`` sets refine them to the
+field-granular calculus (see MODEL.md).
 """
 
 from __future__ import annotations
@@ -48,74 +53,67 @@ class CatalogEntry(NamedTuple):
 NF_CATALOG: Dict[str, CatalogEntry] = {
     "probe": CatalogEntry(
         Probe,
-        ActionProfile(reads_header=True),
+        Probe.actions,
         "Passive measurement probe",
     ),
     "ids": CatalogEntry(
         IntrusionDetectionSystem,
-        ActionProfile(reads_header=True, reads_payload=True, drops=True),
+        IntrusionDetectionSystem.actions,
         "Intrusion detection system (AC + DFA pattern matching, drops)",
     ),
     "dpi": CatalogEntry(
         DeepPacketInspector,
-        ActionProfile(reads_header=True, reads_payload=True),
+        DeepPacketInspector.actions,
         "Deep packet inspection / traffic classification (no drops)",
     ),
     "firewall": CatalogEntry(
         Firewall,
-        ActionProfile(reads_header=True),
+        Firewall.actions,
         "Stateless ACL firewall (Table II profile: no drops)",
     ),
     "nat": CatalogEntry(
         NetworkAddressTranslator,
-        ActionProfile(reads_header=True, writes_header=True),
+        NetworkAddressTranslator.actions,
         "Source/destination NAT",
     ),
     "lb": CatalogEntry(
         LoadBalancer,
-        ActionProfile(reads_header=True),
+        LoadBalancer.actions,
         "L4 load balancer (consistent hashing)",
     ),
     "wanopt": CatalogEntry(
         WANOptimizer,
-        ActionProfile(reads_header=True, reads_payload=True,
-                      writes_header=True, writes_payload=True,
-                      adds_removes_bits=True, drops=True),
+        WANOptimizer.actions,
         "WAN optimizer (dedup + compression)",
     ),
     "proxy": CatalogEntry(
         Proxy,
-        ActionProfile(reads_header=True, reads_payload=True,
-                      writes_payload=True),
+        Proxy.actions,
         "Application proxy (payload rewrite)",
     ),
     "ipv4": CatalogEntry(
         IPv4Forwarder,
-        ActionProfile(reads_header=True, writes_header=True, drops=True),
+        IPv4Forwarder.actions,
         "IPv4 forwarder (LPM trie)",
     ),
     "ipv6": CatalogEntry(
         IPv6Forwarder,
-        ActionProfile(reads_header=True, writes_header=True, drops=True),
+        IPv6Forwarder.actions,
         "IPv6 forwarder (hashed prefixes + binary search)",
     ),
     "stateful-ids": CatalogEntry(
         StatefulIDS,
-        ActionProfile(reads_header=True, reads_payload=True, drops=True),
+        StatefulIDS.actions,
         "Flow-stateful IDS (cross-packet signature detection)",
     ),
     "ipsec": CatalogEntry(
         IPsecGateway,
-        ActionProfile(reads_header=True, reads_payload=True,
-                      writes_header=True, writes_payload=True,
-                      adds_removes_bits=True),
+        IPsecGateway.actions,
         "IPsec gateway (AES-128-CTR + HMAC-SHA1)",
     ),
     "ipsec-term": CatalogEntry(
         IPsecTerminator,
-        ActionProfile(reads_header=True, reads_payload=True,
-                      writes_header=True, writes_payload=True,
-                      adds_removes_bits=True, drops=True),
+        IPsecTerminator.actions,
         "IPsec tunnel terminator (verify-then-decrypt, drops on bad tag)",
     ),
 }

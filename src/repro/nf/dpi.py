@@ -354,7 +354,10 @@ class PatternMatch(OffloadableElement):
 
     traffic_class = TrafficClass.OBSERVER
     idempotent = True
-    actions = ActionProfile(reads_payload=True)
+    actions = ActionProfile(
+        reads_payload=True,
+        reads_fields={"payload"},
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=1.0,
         d2h_bytes_per_packet=0.01,
@@ -430,7 +433,11 @@ class DeepPacketInspector(NetworkFunction):
     """DPI NF: pattern-match and annotate, never drop (classification)."""
 
     nf_type = "dpi"
-    actions = ActionProfile(reads_header=True, reads_payload=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports", "payload"},
+    )
 
     def __init__(self, patterns: Optional[Sequence[bytes]] = None,
                  regexes: Sequence[str] = (),
@@ -456,7 +463,11 @@ class IntrusionDetectionSystem(DeepPacketInspector):
     """IDS NF: like DPI but drops matching packets (Table II: Drop=Y)."""
 
     nf_type = "ids"
-    actions = ActionProfile(reads_header=True, reads_payload=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True, drops=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports", "payload"},
+    )
 
     def build_core(self) -> ElementGraph:
         graph = ElementGraph(name=f"{self.name}/core")

@@ -104,7 +104,10 @@ class AclClassify(OffloadableElement):
     """
 
     traffic_class = TrafficClass.CLASSIFIER
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"ip.src", "ip.dst", "ip.proto", "l4.ports"},
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=16.0,
         d2h_bytes_per_packet=1.0,
@@ -183,7 +186,11 @@ class Firewall(NetworkFunction):
     """
 
     nf_type = "firewall"
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports"},
+    )
 
     def __init__(self, rules: Optional[List[AclRule]] = None,
                  matcher_kind: str = "tuple_space",

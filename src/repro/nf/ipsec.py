@@ -194,8 +194,12 @@ class IPsecEncrypt(OffloadableElement):
     """
 
     traffic_class = TrafficClass.MODIFIER
-    actions = ActionProfile(reads_payload=True, writes_payload=True,
-                            adds_removes_bits=True)
+    actions = ActionProfile(
+        reads_payload=True, writes_payload=True,
+        adds_removes_bits=True,
+        reads_fields={"payload"},
+        writes_fields={"payload"},  # + resize-implied length/checksum
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=1.0,
         d2h_bytes_per_packet=1.0,
@@ -236,8 +240,12 @@ class IPsecDecrypt(OffloadableElement):
     """Verify-then-decrypt counterpart of :class:`IPsecEncrypt`."""
 
     traffic_class = TrafficClass.MODIFIER
-    actions = ActionProfile(reads_payload=True, writes_payload=True,
-                            adds_removes_bits=True, drops=True)
+    actions = ActionProfile(
+        reads_payload=True, writes_payload=True,
+        adds_removes_bits=True, drops=True,
+        reads_fields={"payload"},
+        writes_fields={"payload"},
+    )
     traits = IPsecEncrypt.traits
 
     def __init__(self, key: bytes = b"0123456789abcdef",
@@ -285,9 +293,13 @@ class IPsecTerminator(NetworkFunction):
     """
 
     nf_type = "ipsec-term"
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_header=True, writes_payload=True,
-                            adds_removes_bits=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True,
+        writes_header=True, writes_payload=True,
+        adds_removes_bits=True, drops=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},  # + resize-implied length/checksum
+    )
 
     def __init__(self, key: bytes = b"0123456789abcdef",
                  auth_key: bytes = b"fedcba9876543210ffff",
@@ -311,9 +323,13 @@ class IPsecGateway(NetworkFunction):
     """IPsec encryption gateway NF (the paper's compute-heavy workload)."""
 
     nf_type = "ipsec"
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_header=True, writes_payload=True,
-                            adds_removes_bits=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True,
+        writes_header=True, writes_payload=True,
+        adds_removes_bits=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},  # + resize-implied length/checksum
+    )
 
     def __init__(self, key: bytes = b"0123456789abcdef",
                  auth_key: bytes = b"fedcba9876543210ffff",

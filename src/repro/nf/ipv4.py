@@ -101,7 +101,11 @@ class IPv4Lookup(OffloadableElement):
 
     traffic_class = TrafficClass.MODIFIER
     idempotent = True
-    actions = ActionProfile(reads_header=True, writes_header=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True,
+        reads_fields={"eth.type", "ip.dst"},
+        writes_fields={"eth.dst"},
+    )
     # The lookup ships the IP header to the device and needs the
     # rewritten frame header back — IPv4 forwarding is transfer-bound
     # on a discrete GPU, which is why GTA leaves it on the CPU
@@ -148,7 +152,11 @@ class IPv4Forwarder(NetworkFunction):
     """IP packet forwarder NF: check -> LPM lookup -> TTL decrement."""
 
     nf_type = "ipv4"
-    actions = ActionProfile(reads_header=True, writes_header=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True, drops=True,
+        reads_fields={"eth.type", "ip.dst", "ip.ttl"},
+        writes_fields={"eth.dst", "ip.ttl"},  # + derived ip.checksum
+    )
 
     def __init__(self, table: Optional[LPMTrie] = None,
                  name: Optional[str] = None, **kwargs):

@@ -144,7 +144,11 @@ class IPv6Lookup(OffloadableElement):
 
     traffic_class = TrafficClass.MODIFIER
     idempotent = True
-    actions = ActionProfile(reads_header=True, writes_header=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True,
+        reads_fields={"eth.type", "ip.dst"},
+        writes_fields={"eth.dst"},
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=16.0,
         d2h_bytes_per_packet=4.0,
@@ -186,7 +190,11 @@ class IPv6Forwarder(NetworkFunction):
     """IPv6 packet forwarder NF."""
 
     nf_type = "ipv6"
-    actions = ActionProfile(reads_header=True, writes_header=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True, drops=True,
+        reads_fields={"eth.type", "ip.dst", "ip.ttl"},
+        writes_fields={"eth.dst", "ip.ttl"},
+    )
 
     def __init__(self, table: Optional[HashedPrefixTable] = None,
                  name: Optional[str] = None, **kwargs):

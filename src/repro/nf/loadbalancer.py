@@ -70,7 +70,10 @@ class BackendSelect(OffloadableElement):
 
     traffic_class = TrafficClass.OBSERVER
     idempotent = True
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"ip.src", "ip.dst", "ip.proto", "l4.ports"},
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=16.0,
         d2h_bytes_per_packet=2.0,
@@ -106,7 +109,11 @@ class LoadBalancer(NetworkFunction):
     """L4 load balancer NF (Table II: HDR read only)."""
 
     nf_type = "lb"
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports"},
+    )
 
     def __init__(self, backends: Optional[Sequence[str]] = None,
                  name: Optional[str] = None, **kwargs):

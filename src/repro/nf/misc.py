@@ -18,7 +18,10 @@ class Probe(NetworkFunction):
     """Passive measurement probe (Table II: HDR read only)."""
 
     nf_type = "probe"
-    actions = ActionProfile(reads_header=True)
+    actions = ActionProfile(
+        reads_header=True,
+        reads_fields={"eth.type", "ip.len"},
+    )
 
     def build_core(self) -> ElementGraph:
         graph = ElementGraph(name=f"{self.name}/core")
@@ -38,8 +41,11 @@ class ContentRewrite(OffloadableElement):
 
     traffic_class = TrafficClass.MODIFIER
     idempotent = True
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_payload=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True, writes_payload=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},
+    )
     traits = OffloadTraits(
         h2d_bytes_per_packet=1.0,
         d2h_bytes_per_packet=1.0,
@@ -78,8 +84,11 @@ class Proxy(NetworkFunction):
     """Application proxy NF (Table II: HDR/PL read, PL write)."""
 
     nf_type = "proxy"
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_payload=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True, writes_payload=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},
+    )
 
     def build_core(self) -> ElementGraph:
         graph = ElementGraph(name=f"{self.name}/core")
@@ -100,9 +109,13 @@ class DedupCompress(OffloadableElement):
     """
 
     traffic_class = TrafficClass.MODIFIER
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_header=True, writes_payload=True,
-                            adds_removes_bits=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True,
+        writes_header=True, writes_payload=True,
+        adds_removes_bits=True, drops=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},  # + resize-implied length/checksum
+    )
     is_stateful = True
     offloadable = False
     traits = OffloadTraits(
@@ -160,9 +173,13 @@ class WANOptimizer(NetworkFunction):
     """WAN optimizer NF (Table II: everything, incl. add/rm bits, drop)."""
 
     nf_type = "wanopt"
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            writes_header=True, writes_payload=True,
-                            adds_removes_bits=True, drops=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True,
+        writes_header=True, writes_payload=True,
+        adds_removes_bits=True, drops=True,
+        reads_fields={"eth.type", "payload"},
+        writes_fields={"payload"},  # + resize-implied length/checksum
+    )
     stateful = True
 
     def __init__(self, suppress_duplicates: bool = False,

@@ -31,7 +31,11 @@ class NatRewrite(OffloadableElement):
     """
 
     traffic_class = TrafficClass.MODIFIER
-    actions = ActionProfile(reads_header=True, writes_header=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True,
+        reads_fields={"ip.src", "ip.dst", "ip.proto", "l4.ports"},
+        writes_fields={"ip.src", "ip.dst", "l4.ports"},
+    )
     is_stateful = True
     offloadable = False
     traits = OffloadTraits(
@@ -104,7 +108,12 @@ class NetworkAddressTranslator(NetworkFunction):
     """NAT NF (Table II: HDR read Y, HDR write Y)."""
 
     nf_type = "nat"
-    actions = ActionProfile(reads_header=True, writes_header=True)
+    actions = ActionProfile(
+        reads_header=True, writes_header=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports"},
+        writes_fields={"ip.src", "ip.dst", "l4.ports"},
+    )
     stateful = True
 
     def __init__(self, public_ip: str = "203.0.113.1",

@@ -163,8 +163,11 @@ class StatefulIDS(NetworkFunction):
     """
 
     nf_type = "stateful-ids"
-    actions = ActionProfile(reads_header=True, reads_payload=True,
-                            drops=True)
+    actions = ActionProfile(
+        reads_header=True, reads_payload=True, drops=True,
+        reads_fields={"eth.type", "ip.src", "ip.dst", "ip.proto",
+                      "l4.ports", "l4.seq", "payload"},
+    )
     stateful = True
 
     def __init__(self, patterns: Optional[Sequence[bytes]] = None,

@@ -14,9 +14,18 @@ Three oracles guard the NFCompass pipeline:
   packet conservation) during every simulation run.
 
 :mod:`repro.validate.fuzz` provides the seeded random generators
-shared by the CLI and the Hypothesis property suites.
+shared by the CLI and the Hypothesis property suites, and
+:mod:`repro.validate.corpus` replays the committed corpus of
+fuzz-found failures (``tests/regressions/corpus.json``) so fixed bugs
+stay fixed.
 """
 
+from repro.validate.corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    CorpusFormatError,
+    load_corpus,
+)
 from repro.validate.differential import (
     ChainSpec,
     DifferentialReport,
@@ -48,6 +57,10 @@ from repro.validate.partition_oracle import (
 )
 
 __all__ = [
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "CorpusFormatError",
+    "load_corpus",
     "ChainSpec",
     "DifferentialReport",
     "PacketDiff",

@@ -36,7 +36,7 @@ from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficGenerator, TrafficSpec
 
 #: Annotation keys that are merge bookkeeping, not NF semantics.
-_BOOKKEEPING_ANNOTATIONS = frozenset({"orig_bytes"})
+_BOOKKEEPING_ANNOTATIONS = frozenset({"orig_bytes", "tee_branch"})
 
 #: Element attributes that are runtime counters, not semantic state.
 _COUNTER_ATTRS = frozenset({

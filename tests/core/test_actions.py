@@ -1,14 +1,17 @@
 """Lock the Table III parallelization calculus to the paper."""
 
+import json
+from pathlib import Path
+
 from hypothesis import given
 from hypothesis import strategies as st
 
 import pytest
 
-from repro.core.actions import Hazard, explain, hazards_between, \
-    parallelizable
+from repro.core.actions import Hazard, conflicting_write_fields, \
+    explain, hazards_between, parallelizable
 from repro.elements.element import ActionProfile
-from repro.nf.catalog import action_profile_of
+from repro.nf.catalog import NF_CATALOG, action_profile_of
 
 READ_HDR = ActionProfile(reads_header=True)
 READ_PL = ActionProfile(reads_payload=True)
@@ -171,3 +174,139 @@ def test_explain_mentions_hazards():
     assert "raw_header" in text
     assert "not parallelizable" in text
     assert "parallelizable" in explain(READ_HDR, READ_HDR)
+
+
+def test_explain_names_conflicting_fields():
+    nat = action_profile_of("nat")
+    ipv4 = action_profile_of("ipv4")
+    text = explain(nat, ipv4)
+    assert "ip.checksum" in text
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive catalog matrix: golden snapshot + monotone refinement
+# ---------------------------------------------------------------------------
+
+MATRIX_GOLDEN = Path(__file__).parent / "table3_matrix.json"
+
+
+def _region_only(profile: ActionProfile) -> ActionProfile:
+    """The profile with its field declarations stripped (undeclared)."""
+    return ActionProfile(
+        reads_header=profile.reads_header,
+        reads_payload=profile.reads_payload,
+        writes_header=profile.writes_header,
+        writes_payload=profile.writes_payload,
+        adds_removes_bits=profile.adds_removes_bits,
+        drops=profile.drops,
+    )
+
+
+def build_catalog_matrix() -> dict:
+    """The full ordered-pair Table III matrix over the NF catalog.
+
+    To regenerate the golden file after an intentional calculus or
+    catalog change:
+
+        PYTHONPATH=src:tests python -c \
+          "import json, test_actions as t; \
+           print(json.dumps(t.build_catalog_matrix(), indent=1))" \
+          > tests/core/table3_matrix.json
+    """
+    matrix = {}
+    for former_type in sorted(NF_CATALOG):
+        row = {}
+        for later_type in sorted(NF_CATALOG):
+            former = NF_CATALOG[former_type].actions
+            later = NF_CATALOG[later_type].actions
+            later_stateful = NF_CATALOG[later_type].factory.stateful
+            hazards = hazards_between(former, later,
+                                      later_stateful=later_stateful)
+            row[later_type] = {
+                "parallel": not hazards,
+                "hazards": sorted(h.value for h in hazards),
+            }
+        matrix[former_type] = row
+    return matrix
+
+
+class TestCatalogMatrix:
+    def test_matrix_matches_golden_snapshot(self):
+        """The full pairwise verdict table is pinned: any calculus or
+        profile change must consciously regenerate the golden file
+        (see build_catalog_matrix's docstring)."""
+        golden = json.loads(MATRIX_GOLDEN.read_text())
+        assert build_catalog_matrix() == golden
+
+    def test_field_calculus_is_monotone_refinement(self):
+        """Field declarations may only REMOVE hazards relative to the
+        region-level calculus, never add any."""
+        for former_type, entry_f in NF_CATALOG.items():
+            for later_type, entry_l in NF_CATALOG.items():
+                stateful = entry_l.factory.stateful
+                field_hazards = hazards_between(
+                    entry_f.actions, entry_l.actions,
+                    later_stateful=stateful)
+                region_hazards = hazards_between(
+                    _region_only(entry_f.actions),
+                    _region_only(entry_l.actions),
+                    later_stateful=stateful)
+                assert field_hazards <= region_hazards, (
+                    f"{former_type} -> {later_type}: field-level "
+                    f"calculus added {field_hazards - region_hazards}"
+                )
+
+    def test_undeclared_profiles_keep_region_behavior(self):
+        """Stripping the declarations must reproduce the conservative
+        region verdict exactly — no spurious parallelism for
+        third-party elements that only set the coarse flags."""
+        for entry_f in NF_CATALOG.values():
+            for entry_l in NF_CATALOG.values():
+                stripped_f = _region_only(entry_f.actions)
+                stripped_l = _region_only(entry_l.actions)
+                assert stripped_f.reads_fields is None
+                assert stripped_l.writes_fields is None
+                region = hazards_between(stripped_f, stripped_l)
+                # Mixing one declared and one undeclared side must
+                # stay within the pure region verdict too.
+                mixed = hazards_between(entry_f.actions, stripped_l)
+                assert mixed <= region
+
+    def test_refinement_unlocks_new_parallelism(self):
+        """The refinement is not vacuous: at least one catalog pair is
+        serialized by regions but parallel by fields (nat || proxy:
+        disjoint ip/l4 writes vs payload writes)."""
+        nat = NF_CATALOG["nat"].actions
+        proxy = NF_CATALOG["proxy"].actions
+        assert not parallelizable(_region_only(nat), _region_only(proxy))
+        assert parallelizable(nat, proxy)
+
+    def test_derived_checksum_keeps_writers_serialized(self):
+        """NAT (writes ip.src/dst) and IPv4 forwarding (writes ip.ttl)
+        touch disjoint declared fields but collide on the derived
+        ip.checksum, so they must stay serialized."""
+        nat = action_profile_of("nat")
+        ipv4 = action_profile_of("ipv4")
+        assert not parallelizable(nat, ipv4)
+        fields = conflicting_write_fields(nat, ipv4)
+        assert fields == frozenset({"ip.checksum"})
+
+
+class TestConflictingWriteFields:
+    def test_none_when_either_side_undeclared(self):
+        declared = action_profile_of("nat")
+        assert conflicting_write_fields(declared, WRITE_HDR) is None
+        assert conflicting_write_fields(WRITE_HDR, declared) is None
+
+    def test_empty_for_disjoint_writers(self):
+        nat = action_profile_of("nat")
+        proxy = action_profile_of("proxy")
+        assert conflicting_write_fields(nat, proxy) == frozenset()
+
+    def test_resize_implies_length_and_checksum(self):
+        nat = action_profile_of("nat")
+        wanopt = action_profile_of("wanopt")
+        fields = conflicting_write_fields(nat, wanopt)
+        assert fields == frozenset({"ip.checksum"})
+        ipv4 = action_profile_of("ipv4")
+        assert "ip.checksum" in conflicting_write_fields(ipv4, wanopt)

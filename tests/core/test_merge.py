@@ -134,6 +134,149 @@ def test_disjoint_region_merge_equals_sequential(payload, cut):
     assert merged.payload == expected
 
 
+class TestMergeConflictReporting:
+    """The sound merge: overlapping non-identical deltas raise a
+    structured MergeConflictError instead of silently OR-composing."""
+
+    def test_overlapping_nonidentical_writes_raise(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"Xbcdef"
+        b = packet.clone()
+        b.payload = b"Ybcdef"
+        with pytest.raises(MergeConflictError):
+            xor_merge_packets(original, [a, b])
+
+    def test_conflict_offsets_are_exact(self):
+        """The reported offsets are precisely the conflicting byte
+        positions in the wire representation."""
+        payload = b"abcdef"
+        packet = Packet(payload=payload)
+        original = packet.to_bytes()
+        payload_offset = len(original) - len(payload)
+        a = packet.clone()
+        a.payload = b"XYcdeZ"  # writes offsets 0, 1, 5
+        b = packet.clone()
+        b.payload = b"PQcdef"  # writes offsets 0, 1 with other values
+        with pytest.raises(MergeConflictError) as excinfo:
+            xor_merge_packets(original, [a, b])
+        err = excinfo.value
+        assert err.offsets == (payload_offset, payload_offset + 1)
+        assert err.uid == packet.uid
+
+    def test_conflict_names_branches(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.annotations["tee_branch"] = 0
+        a.payload = b"Xbcdef"
+        b = packet.clone()
+        b.annotations["tee_branch"] = 1
+        b.payload = b"Ybcdef"
+        with pytest.raises(MergeConflictError) as excinfo:
+            xor_merge_packets(original, [a, b],
+                              branch_names=["natA", "proxyB"])
+        assert excinfo.value.branches == ("natA", "proxyB")
+        assert "natA" in str(excinfo.value)
+
+    def test_conflict_falls_back_to_positional_labels(self):
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"Xbcdef"
+        b = packet.clone()
+        b.payload = b"Ybcdef"
+        with pytest.raises(MergeConflictError) as excinfo:
+            xor_merge_packets(original, [a, b])
+        assert excinfo.value.branches == ("branch0", "branch1")
+
+    def test_identical_overlapping_writes_still_merge(self):
+        """Two branches writing the SAME value to the same offset make
+        identical deltas, which OR-compose losslessly — fast path."""
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"Xbcdef"
+        b = packet.clone()
+        b.payload = b"Xbcdef"
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.payload == b"Xbcdef"
+
+    def test_partial_overlap_with_identical_bytes_merges(self):
+        """Deltas may overlap where the written values agree and still
+        differ elsewhere disjointly."""
+        packet = Packet(payload=b"abcdef")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"XYcdef"  # offsets 0,1
+        b = packet.clone()
+        b.payload = b"XbcdeZ"  # offsets 0,5 — offset 0 agrees
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.payload == b"XYcdeZ"
+
+    def test_size_conflict_error_carries_uid_and_branches(self):
+        packet = Packet(payload=b"short")
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.payload = b"longer A!"
+        b = packet.clone()
+        b.payload = b"even longer B!"
+        with pytest.raises(MergeConflictError) as excinfo:
+            xor_merge_packets(original, [a, b])
+        err = excinfo.value
+        assert err.uid == packet.uid
+        assert len(err.branches) == 2
+        assert err.offsets == ()
+
+    def test_merge_conflict_is_a_value_error(self):
+        assert issubclass(MergeConflictError, ValueError)
+
+
+class TestAutoLengthRestoration:
+    """The seed-75 fix: reconstruction must not freeze auto-computed
+    length fields that every branch left as the 0 sentinel."""
+
+    def test_ipv4_total_length_sentinel_restored(self):
+        packet = Packet(payload=b"abcdef")
+        assert packet.ip.total_length == 0
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.ip.ttl = 7
+        b = packet.clone()
+        b.payload = b"ABCDEF"
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.ip.total_length == 0
+        # A later size-changing NF now serializes a correct length.
+        merged.payload = b"xy"
+        reparsed = Packet.from_bytes(merged.to_bytes())
+        assert reparsed.payload == b"xy"
+
+    def test_frozen_length_stays_frozen(self):
+        """If a branch carries an explicit (frozen) length, the merge
+        must not second-guess it."""
+        packet = Packet(payload=b"abcdef")
+        packet.ip.total_length = 20 + 8 + 6
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.ip.ttl = 7
+        b = packet.clone()
+        b.payload = b"ABCDEF"
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.ip.total_length == 20 + 8 + 6
+
+    def test_udp_length_sentinel_restored(self):
+        packet = Packet(payload=b"abcdef")
+        assert packet.l4.length == 0
+        original = packet.to_bytes()
+        a = packet.clone()
+        a.ip.ttl = 7
+        b = packet.clone()
+        b.payload = b"ABCDEF"
+        merged = xor_merge_packets(original, [a, b])
+        assert merged.l4.length == 0
+
+
 class TestXorMergeElement:
     def test_merges_complete_sets(self):
         packet = Packet(payload=b"data")

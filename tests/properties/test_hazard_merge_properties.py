@@ -1,0 +1,212 @@
+"""Property tests tying the field-granular hazard calculus to the
+sound XOR merge (run with -m property).
+
+Two end-to-end soundness properties:
+
+- if ``hazards_between`` says an ordered pair of declared profiles is
+  hazard-free, then duplicating a packet to both operations and
+  XOR-merging their outputs equals running them sequentially (and the
+  merge's conflict detector stays silent);
+- the orchestrator's parallelizer never emits a plan whose merge
+  raises :class:`MergeConflictError` on generated traffic.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import hazards_between
+from repro.core.merge import MergeConflictError, xor_merge_packets
+from repro.core.orchestrator import SFCOrchestrator
+from repro.elements.element import ActionProfile
+from repro.traffic.generator import TrafficGenerator
+from repro.validate import (
+    random_chain_spec,
+    random_traffic_spec,
+    verify_packet_conservation,
+)
+
+pytestmark = pytest.mark.property
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic field operations: each writes constant values into the
+# fields it declares, so its output never depends on another op's
+# writes — exactly the situation the hazard calculus reasons about.
+# ---------------------------------------------------------------------------
+
+def _set_eth_src(p):
+    p.eth.src_mac = "02:aa:bb:cc:dd:01"
+
+
+def _set_eth_dst(p):
+    p.eth.dst_mac = "02:aa:bb:cc:dd:02"
+
+
+def _set_ip_src(p):
+    if p.is_ipv4:
+        p.ip.src = "198.51.100.7"
+
+
+def _set_ip_ttl(p):
+    if p.is_ipv4:
+        p.ip.ttl = 9
+
+
+def _set_ip_tos(p):
+    if p.is_ipv4:
+        p.ip.tos = 0x10
+
+
+def _set_ports(p):
+    if p.l4 is not None:
+        p.l4.src_port = 40001
+        p.l4.dst_port = 40002
+
+
+def _fill_payload(p):
+    p.payload = bytes(0x41 for _ in p.payload)
+
+
+def _read_only(p):
+    pass
+
+
+OPS = {
+    "eth_src_writer": (
+        ActionProfile(writes_header=True, writes_fields={"eth.src"}),
+        _set_eth_src,
+    ),
+    "eth_dst_writer": (
+        ActionProfile(writes_header=True, writes_fields={"eth.dst"}),
+        _set_eth_dst,
+    ),
+    "ip_src_writer": (
+        ActionProfile(reads_header=True, writes_header=True,
+                      reads_fields={"eth.type"},
+                      writes_fields={"ip.src"}),
+        _set_ip_src,
+    ),
+    "ttl_writer": (
+        ActionProfile(reads_header=True, writes_header=True,
+                      reads_fields={"eth.type"},
+                      writes_fields={"ip.ttl"}),
+        _set_ip_ttl,
+    ),
+    "tos_writer": (
+        ActionProfile(reads_header=True, writes_header=True,
+                      reads_fields={"eth.type"},
+                      writes_fields={"ip.tos"}),
+        _set_ip_tos,
+    ),
+    "port_writer": (
+        ActionProfile(writes_header=True, writes_fields={"l4.ports"}),
+        _set_ports,
+    ),
+    "payload_writer": (
+        ActionProfile(reads_payload=True, writes_payload=True,
+                      reads_fields={"payload"},
+                      writes_fields={"payload"}),
+        _fill_payload,
+    ),
+    "header_reader": (
+        ActionProfile(reads_header=True,
+                      reads_fields={"ip.src", "ip.dst", "l4.ports"}),
+        _read_only,
+    ),
+    "payload_reader": (
+        ActionProfile(reads_payload=True, reads_fields={"payload"}),
+        _read_only,
+    ),
+}
+
+
+@given(seed=seeds,
+       former_name=st.sampled_from(sorted(OPS)),
+       later_name=st.sampled_from(sorted(OPS)))
+@settings(max_examples=120, deadline=None)
+def test_hazard_free_pairs_merge_like_sequential(seed, former_name,
+                                                 later_name):
+    """hazards empty ⟹ XOR merge of independent runs == sequential."""
+    former_profile, former_apply = OPS[former_name]
+    later_profile, later_apply = OPS[later_name]
+    hazards = hazards_between(former_profile, later_profile)
+
+    rng = random.Random(seed)
+    traffic = random_traffic_spec(rng)
+    for packet in TrafficGenerator(traffic).packets(8):
+        original = packet.to_bytes()
+
+        sequential = packet.clone()
+        former_apply(sequential)
+        later_apply(sequential)
+
+        branch_a = packet.clone()
+        former_apply(branch_a)
+        branch_b = packet.clone()
+        later_apply(branch_b)
+
+        if hazards:
+            continue  # the calculus forbids parallelizing this pair
+        merged = xor_merge_packets(original, [branch_a, branch_b],
+                                   branch_names=[former_name,
+                                                 later_name])
+        assert merged.to_bytes() == sequential.to_bytes(), (
+            f"seed={seed}: hazard-free pair {former_name} || "
+            f"{later_name} merged differently from sequential"
+        )
+
+
+@given(seed=seeds,
+       former_name=st.sampled_from(sorted(OPS)),
+       later_name=st.sampled_from(sorted(OPS)))
+@settings(max_examples=120, deadline=None)
+def test_conflict_detector_silent_on_hazard_free_pairs(seed, former_name,
+                                                       later_name):
+    """MergeConflictError implies the calculus flagged the pair."""
+    former_profile, former_apply = OPS[former_name]
+    later_profile, later_apply = OPS[later_name]
+    hazards = hazards_between(former_profile, later_profile)
+
+    rng = random.Random(seed)
+    traffic = random_traffic_spec(rng)
+    for packet in TrafficGenerator(traffic).packets(8):
+        original = packet.to_bytes()
+        branch_a = packet.clone()
+        former_apply(branch_a)
+        branch_b = packet.clone()
+        later_apply(branch_b)
+        try:
+            xor_merge_packets(original, [branch_a, branch_b])
+        except MergeConflictError:
+            assert hazards, (
+                f"seed={seed}: merge conflict on {former_name} || "
+                f"{later_name} although hazards_between is empty"
+            )
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_parallelizer_plans_never_trigger_merge_conflicts(seed):
+    """No plan the orchestrator emits can make its merge conflict."""
+    from builders import build_chain
+
+    rng = random.Random(seed)
+    chain_spec = random_chain_spec(rng, max_len=6)
+    traffic = random_traffic_spec(rng)
+    sfc = build_chain(chain_spec.nf_types, name=chain_spec.name)
+    _plan, graph = SFCOrchestrator().parallelize(sfc)
+    packets = list(TrafficGenerator(traffic).packets(32))
+    try:
+        verify_packet_conservation(graph, packets)
+    except MergeConflictError as exc:
+        raise AssertionError(
+            f"seed={seed}: parallelizer plan for "
+            f"{' -> '.join(chain_spec.nf_types)} produced a merge "
+            f"conflict: {exc} (uid={exc.uid}, branches={exc.branches}, "
+            f"offsets={exc.offsets[:8]})"
+        )

@@ -9,7 +9,7 @@ printed seed alone: ``run_differential(random_chain_spec(Random(seed)),
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.validate import (
@@ -27,6 +27,7 @@ seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 
 @given(seed=seeds)
+@example(seed=75)  # ROADMAP regression: XOR merge froze the IPv4 length
 @settings(max_examples=15, deadline=None)
 def test_random_chains_are_equivalent(seed):
     """Reorganized+partitioned deployments match the golden chain."""

@@ -1,0 +1,30 @@
+"""Replay the fuzz-regression corpus (tier-1: fast and deterministic).
+
+Every fuzz-found differential failure lives in ``corpus.json`` as the
+seed + knobs that reproduce it; this test replays each entry through
+``run_differential`` so a fixed bug can never silently regress.  See
+docs/TESTING.md for the append workflow.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.validate.corpus import CorpusEntry, load_corpus
+
+CORPUS_PATH = Path(__file__).parent / "corpus.json"
+
+ENTRIES = load_corpus(CORPUS_PATH)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "regression corpus must contain at least one entry"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.id for e in ENTRIES])
+def test_corpus_entry_replays_clean(entry: CorpusEntry):
+    report = entry.replay()
+    assert report.ok, (
+        f"regression corpus entry {entry.id!r} (seed={entry.seed}) "
+        f"reproduces a differential failure again:\n{report.summary()}"
+    )
