@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Benchmark: sharded sweep runner vs serial execution.
+
+Times the Fig. 8 batch-size characterization sweep through
+:class:`repro.runner.SweepRunner` four ways and writes a
+machine-readable report to ``BENCH_runner.json`` at the repository
+root:
+
+- **serial** — ``jobs=1``, also collecting per-point durations;
+- **parallel compute** — ``jobs=8`` over the same grid.  On a
+  many-core host this is the headline number; on the 1-2 core
+  containers CI runs in, simulation points are CPU-bound and cannot
+  physically overlap, so the report also measures
+- **parallel schedule (replay)** — the measured per-point durations
+  replayed as ``time.sleep`` points through the *same* runner and
+  shard plan, serial vs ``jobs=8``.  Sleeps overlap regardless of
+  core count, so this isolates what the benchmark is actually
+  gating: the runner's sharding/merge machinery keeps 8 workers
+  saturated instead of serializing them (``speedup_method`` in the
+  JSON says which number is which; ``host_cpu_count`` records why);
+- **cache warm run** — the same sweep against a populated
+  :class:`~repro.runner.ResultCache`.
+
+Before any timing is trusted, a determinism gate compares serial rows
+against ``jobs=2`` rows for exact equality — a mismatch fails the
+benchmark (exit 1), because a fast-but-wrong runner is worthless.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--quick] [--out P]
+
+``--quick`` shrinks the grid (CI smoke); the full run produces the
+committed ``BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import fig08_characterization as fig08  # noqa: E402
+from repro.runner import (  # noqa: E402
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    shard_indices,
+)
+from repro.runner.runner import _execute_shard  # noqa: E402
+
+JOBS = 8
+
+
+@dataclass
+class ReplayRow:
+    index: int
+    seconds: float
+
+
+def _replay_point(index: int, seconds: float) -> List[ReplayRow]:
+    """A sweep point that costs exactly ``seconds`` of wall clock."""
+    time.sleep(seconds)
+    return [ReplayRow(index=index, seconds=seconds)]
+
+
+def make_sweep(quick: bool) -> SweepSpec:
+    if quick:
+        return fig08.batch_sweep_spec(quick=True,
+                                      nf_types=("ipv4", "ipsec"),
+                                      batch_sizes=(32, 128, 512))
+    return fig08.batch_sweep_spec(quick=False)
+
+
+def replay_sweep(durations: List[float]) -> SweepSpec:
+    return SweepSpec(
+        name="bench.replay",
+        point=_replay_point,
+        row_type=ReplayRow,
+        grid=[{"index": index, "seconds": seconds}
+              for index, seconds in enumerate(durations)],
+    )
+
+
+def time_run(runner: SweepRunner, spec: SweepSpec):
+    t0 = time.perf_counter()
+    rows = runner.run(spec)
+    return time.perf_counter() - t0, rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_runner.json",
+                        help="output path for the JSON report")
+    args = parser.parse_args(argv)
+
+    spec = make_sweep(args.quick)
+    points = len(spec.grid)
+    print(f"sweep: {spec.name}, {points} points, jobs={JOBS}, "
+          f"host cpus={os.cpu_count()}")
+
+    # Determinism gate: serial and jobs=2 must agree exactly.
+    serial_rows = SweepRunner(jobs=1).run(spec)
+    parallel_rows = SweepRunner(jobs=2).run(spec)
+    determinism_ok = serial_rows == parallel_rows
+    print(f"determinism (serial == jobs=2): {determinism_ok}")
+
+    # Serial timing + per-point durations (same shard code path the
+    # workers run, one point per shard).
+    durations: List[float] = []
+    t0 = time.perf_counter()
+    for index in range(points):
+        p0 = time.perf_counter()
+        _execute_shard(spec, [index])
+        durations.append(time.perf_counter() - p0)
+    serial_seconds = time.perf_counter() - t0
+
+    # Parallel compute timing over the same grid.
+    compute_seconds, _rows = time_run(SweepRunner(jobs=JOBS), spec)
+    compute_speedup = serial_seconds / compute_seconds
+
+    # Scheduler replay: identical durations as sleep points, so worker
+    # overlap is visible even on a single-core host.
+    replay = replay_sweep(durations)
+    replay_serial, _rows = time_run(SweepRunner(jobs=1), replay)
+    replay_parallel, _rows = time_run(SweepRunner(jobs=JOBS), replay)
+    replay_speedup = replay_serial / replay_parallel
+
+    # Cache warm run.
+    cache = ResultCache()
+    cached_runner = SweepRunner(jobs=1, cache=cache)
+    cold_seconds, _rows = time_run(cached_runner, spec)
+    warm_seconds, _rows = time_run(cached_runner, spec)
+    cache_speedup = cold_seconds / warm_seconds
+
+    shards = len(shard_indices(points, JOBS))
+    report = {
+        "benchmark": "sharded sweep runner vs serial execution",
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "host_cpu_count": os.cpu_count(),
+        "sweep": spec.name,
+        "points": points,
+        "jobs": JOBS,
+        "shards": shards,
+        "determinism_ok": determinism_ok,
+        "serial_seconds": round(serial_seconds, 6),
+        "compute": {
+            "speedup_method": "real simulation points; bounded by "
+                              "host cores",
+            "parallel_seconds": round(compute_seconds, 6),
+            "speedup": round(compute_speedup, 3),
+        },
+        "schedule_replay": {
+            "speedup_method": "measured per-point durations replayed "
+                              "as sleeps through the same shard plan; "
+                              "isolates runner scheduling from host "
+                              "core count",
+            "serial_seconds": round(replay_serial, 6),
+            "parallel_seconds": round(replay_parallel, 6),
+            "speedup": round(replay_speedup, 3),
+        },
+        "cache": {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cache_speedup, 1),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"serial          {serial_seconds:8.3f}s over {points} points")
+    print(f"compute jobs={JOBS}  {compute_seconds:8.3f}s "
+          f"speedup={compute_speedup:5.2f}x (cores={os.cpu_count()})")
+    print(f"replay  jobs={JOBS}  {replay_parallel:8.3f}s vs "
+          f"{replay_serial:8.3f}s serial "
+          f"speedup={replay_speedup:5.2f}x")
+    print(f"cache warm      {warm_seconds:8.3f}s "
+          f"speedup={cache_speedup:5.0f}x "
+          f"({cache.hits} hits / {cache.misses} misses)")
+    print(f"wrote {args.out}")
+
+    if not determinism_ok:
+        print("DETERMINISM FAILURE: jobs=2 rows diverge from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,17 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# Imported after __version__: the runner's fingerprints fold the
+# package version into every cache key.
+from repro.runner import (  # noqa: E402
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    deployment_fingerprint,
+    run_sweep,
+)
 
 __all__ = [
     "AdaptiveRuntime",
@@ -50,12 +60,17 @@ __all__ = [
     "NF_CATALOG",
     "PlatformSpec",
     "ProfileConfig",
+    "ResultCache",
     "SFCOrchestrator",
     "SimulationEngine",
     "SimulationSession",
+    "SweepRunner",
+    "SweepSpec",
     "ThroughputLatencyReport",
     "Trace",
+    "deployment_fingerprint",
     "make_nf",
+    "run_sweep",
     "use_trace",
     "__version__",
 ]

@@ -40,6 +40,7 @@ EXPERIMENTS = {
 
 def _build_parser() -> argparse.ArgumentParser:
     from repro import __version__
+    from repro.experiments.common import DEFAULT_CACHE_DIR
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,6 +69,15 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--trace", metavar="PATH", default=None,
                          help="write an NDJSON observability trace of "
                               "the harness run to PATH")
+    exp_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for sweep execution "
+                              "(default 1: serial)")
+    exp_run.add_argument("--no-cache", action="store_true",
+                         help="disable the sweep result cache")
+    exp_run.add_argument("--cache-dir", metavar="PATH", default=None,
+                         help="persist cached sweep results under PATH "
+                              f"(default {DEFAULT_CACHE_DIR!r} when "
+                              "caching is enabled)")
 
     deploy = subparsers.add_parser(
         "deploy", help="deploy a chain with NFCompass and simulate it"
@@ -182,17 +192,27 @@ def _cmd_experiments_list() -> int:
 
 
 def _cmd_experiments_run(name: str, full: bool,
-                         trace_path: Optional[str] = None) -> int:
+                         trace_path: Optional[str] = None,
+                         jobs: int = 1, no_cache: bool = False,
+                         cache_dir: Optional[str] = None) -> int:
+    import inspect
+
+    from repro.experiments.common import make_runner
     from repro.obs import Trace, use_trace
 
     module = importlib.import_module(EXPERIMENTS[name])
     trace = Trace(name=f"experiments/{name}") if trace_path else None
+    # One runner for the whole harness run: every sweep the harness
+    # launches shares the worker pool budget and the result cache.
+    runner = make_runner(jobs=jobs, use_cache=not no_cache,
+                         cache_dir=cache_dir)
+    kwargs = {"quick": not full, "jobs": jobs, "runner": runner}
+    accepted = inspect.signature(module.main).parameters
+    kwargs = {key: value for key, value in kwargs.items()
+              if key in accepted}
     with (use_trace(trace) if trace is not None
           else contextlib.nullcontext()):
-        try:
-            print(module.main(quick=not full))
-        except TypeError:
-            print(module.main())
+        print(module.main(**kwargs))
     if trace is not None:
         trace.write_ndjson(trace_path)
         print(f"trace: {len(trace.spans)} spans -> {trace_path}")
@@ -395,7 +415,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiments":
         if args.exp_command == "list":
             return _cmd_experiments_list()
-        return _cmd_experiments_run(args.name, args.full, args.trace)
+        return _cmd_experiments_run(args.name, args.full, args.trace,
+                                    jobs=args.jobs,
+                                    no_cache=args.no_cache,
+                                    cache_dir=args.cache_dir)
     if args.command == "deploy":
         return _cmd_deploy(args)
     if args.command == "trace":

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.allocator import GraphTaskAllocator
 from repro.core.compass import NFCompass
@@ -50,18 +50,32 @@ def _chain() -> ServiceFunctionChain:
     )
 
 
-def ablate_reorganization(quick: bool = True) -> List[AblationRow]:
-    """Turn parallelization and synthesis on/off independently."""
+STUDIES = ("reorganization", "partition_algorithm",
+           "persistent_kernel", "expansion_delta")
+
+DELTAS = (0.5, 0.25, 0.1, 0.05)
+
+_REORG_VARIANTS = (
+    ("full", True, True),
+    ("no-parallelization", False, True),
+    ("no-synthesis", True, False),
+    ("neither", False, False),
+)
+
+
+def _ablation_point(study: str, variant: str, batch_count: int,
+                    parallelization: bool = True,
+                    synthesis: bool = True,
+                    persistent: bool = True,
+                    delta: float = 0.1) -> List[AblationRow]:
+    """One sweep point: one variant of one ablation study.
+
+    ``planning_seconds`` is wall-clock (``time.perf_counter``) and is
+    the one intentionally nondeterministic field in any sweep row —
+    determinism tests must compare the simulated fields only.
+    """
     spec = _default_spec()
-    batch_count = 60 if quick else 150
-    rows: List[AblationRow] = []
-    variants = [
-        ("full", True, True),
-        ("no-parallelization", False, True),
-        ("no-synthesis", True, False),
-        ("neither", False, False),
-    ]
-    for name, parallelization, synthesis in variants:
+    if study == "reorganization":
         compass = NFCompass(
             enable_parallelization=parallelization,
             enable_synthesis=synthesis,
@@ -75,129 +89,140 @@ def ablate_reorganization(quick: bool = True) -> List[AblationRow]:
         result = common.measure(compass.engine, plan.deployment, spec,
                                 batch_size=64, batch_count=batch_count,
                                 branch_profile=profile)
-        rows.append(AblationRow(
-            study="reorganization",
-            variant=name,
+        return [AblationRow(
+            study=study, variant=variant,
             throughput_gbps=result.throughput_gbps,
             latency_ms=result.latency_ms,
             planning_seconds=planning,
-        ))
-    return rows
+        )]
+    engine = common.make_engine()
+    if study == "partition_algorithm":
+        graph = _chain().concatenated_graph()
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       algorithm=variant)
+    elif study == "persistent_kernel":
+        graph = ServiceFunctionChain(
+            [make_nf("ipsec")]
+        ).concatenated_graph()
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       persistent_kernel=persistent)
+    elif study == "expansion_delta":
+        graph = ServiceFunctionChain(
+            [make_nf("ipsec"), make_nf("ids")]
+        ).concatenated_graph()
+        allocator = GraphTaskAllocator(platform=engine.platform,
+                                       delta=delta)
+    else:
+        raise ValueError(f"unknown ablation study {study!r}")
+    profile = BranchProfile.measure(graph, spec, sample_packets=256,
+                                    batch_size=64)
+    start = time.perf_counter()
+    mapping, _report = allocator.allocate(graph, spec,
+                                          batch_size=64,
+                                          branch_profile=profile)
+    planning = time.perf_counter() - start
+    if study == "partition_algorithm":
+        name = f"gta-{variant}"
+        persistent_kernel = True
+    elif study == "persistent_kernel":
+        name = f"ipsec-{'persistent' if persistent else 'launched'}"
+        persistent_kernel = persistent
+        planning = 0.0      # study reports no planning time
+    else:
+        name = f"delta-{delta}"
+        persistent_kernel = True
+    deployment = Deployment(graph, mapping,
+                            persistent_kernel=persistent_kernel,
+                            name=name)
+    result = common.measure(engine, deployment, spec,
+                            batch_size=64, batch_count=batch_count,
+                            branch_profile=profile)
+    return [AblationRow(
+        study=study, variant=variant,
+        throughput_gbps=result.throughput_gbps,
+        latency_ms=result.latency_ms,
+        planning_seconds=planning,
+    )]
+
+
+def _study_grid(study: str,
+                deltas: Sequence[float] = DELTAS) -> List[dict]:
+    """The grid entries of one ablation study."""
+    if study == "reorganization":
+        return [{"study": study, "variant": name,
+                 "parallelization": parallelization,
+                 "synthesis": synthesis}
+                for name, parallelization, synthesis in _REORG_VARIANTS]
+    if study == "partition_algorithm":
+        return [{"study": study, "variant": algorithm}
+                for algorithm in ("kl", "agglomerative")]
+    if study == "persistent_kernel":
+        return [{"study": study,
+                 "variant": ("persistent" if persistent
+                             else "per-batch-launch"),
+                 "persistent": persistent}
+                for persistent in (True, False)]
+    if study == "expansion_delta":
+        return [{"study": study, "variant": f"delta={delta:g}",
+                 "delta": delta}
+                for delta in deltas]
+    raise ValueError(f"unknown ablation study {study!r}")
+
+
+def sweep_spec(quick: bool = True,
+               studies: Sequence[str] = STUDIES,
+               deltas: Sequence[float] = DELTAS) -> common.SweepSpec:
+    """The combined ablation grid as a runnable sweep."""
+    return common.SweepSpec(
+        name="ablations",
+        point=_ablation_point,
+        row_type=AblationRow,
+        grid=[entry for study in studies
+              for entry in _study_grid(study, deltas)],
+        params={"batch_count": 60 if quick else 150},
+        context=common.sweep_context(traffic=_default_spec()),
+    )
+
+
+def run_all(quick: bool = True,
+            studies: Sequence[str] = STUDIES,
+            jobs: int = 1, runner=None) -> List[AblationRow]:
+    """Run the requested ablation studies; returns the combined rows."""
+    return common.run_sweep(
+        sweep_spec(quick=quick, studies=studies),
+        jobs=jobs, runner=runner,
+    )
+
+
+def ablate_reorganization(quick: bool = True) -> List[AblationRow]:
+    """Turn parallelization and synthesis on/off independently."""
+    return run_all(quick, studies=("reorganization",))
 
 
 def ablate_partition_algorithm(quick: bool = True) -> List[AblationRow]:
     """KL vs the O(k log k) agglomerative scheme."""
-    spec = _default_spec()
-    batch_count = 60 if quick else 150
-    engine = common.make_engine()
-    rows: List[AblationRow] = []
-    graph = _chain().concatenated_graph()
-    profile = BranchProfile.measure(graph, spec, sample_packets=256,
-                                    batch_size=64)
-    for algorithm in ("kl", "agglomerative"):
-        allocator = GraphTaskAllocator(platform=engine.platform,
-                                       algorithm=algorithm)
-        start = time.perf_counter()
-        mapping, _report = allocator.allocate(graph, spec,
-                                              batch_size=64,
-                                              branch_profile=profile)
-        planning = time.perf_counter() - start
-        deployment = Deployment(graph, mapping, persistent_kernel=True,
-                                name=f"gta-{algorithm}")
-        result = common.measure(engine, deployment, spec,
-                                batch_size=64, batch_count=batch_count,
-                                branch_profile=profile)
-        rows.append(AblationRow(
-            study="partition_algorithm",
-            variant=algorithm,
-            throughput_gbps=result.throughput_gbps,
-            latency_ms=result.latency_ms,
-            planning_seconds=planning,
-        ))
-    return rows
+    return run_all(quick, studies=("partition_algorithm",))
 
 
 def ablate_persistent_kernel(quick: bool = True) -> List[AblationRow]:
     """Persistent kernels vs per-batch launch/teardown."""
-    spec = _default_spec()
-    batch_count = 60 if quick else 150
-    engine = common.make_engine()
-    rows: List[AblationRow] = []
-    graph = ServiceFunctionChain([make_nf("ipsec")]).concatenated_graph()
-    profile = BranchProfile.measure(graph, spec, sample_packets=256,
-                                    batch_size=64)
-    for persistent in (True, False):
-        allocator = GraphTaskAllocator(platform=engine.platform,
-                                       persistent_kernel=persistent)
-        mapping, _report = allocator.allocate(graph, spec,
-                                              batch_size=64,
-                                              branch_profile=profile)
-        deployment = Deployment(
-            graph, mapping, persistent_kernel=persistent,
-            name=f"ipsec-{'persistent' if persistent else 'launched'}",
-        )
-        result = common.measure(engine, deployment, spec,
-                                batch_size=64, batch_count=batch_count,
-                                branch_profile=profile)
-        rows.append(AblationRow(
-            study="persistent_kernel",
-            variant="persistent" if persistent else "per-batch-launch",
-            throughput_gbps=result.throughput_gbps,
-            latency_ms=result.latency_ms,
-        ))
-    return rows
+    return run_all(quick, studies=("persistent_kernel",))
 
 
 def ablate_expansion_delta(quick: bool = True,
-                           deltas: Sequence[float] = (0.5, 0.25, 0.1,
-                                                      0.05)
+                           deltas: Sequence[float] = DELTAS
                            ) -> List[AblationRow]:
     """Offload-ratio granularity of the virtual-instance expansion."""
-    spec = _default_spec()
-    batch_count = 60 if quick else 150
-    engine = common.make_engine()
-    rows: List[AblationRow] = []
-    graph = ServiceFunctionChain(
-        [make_nf("ipsec"), make_nf("ids")]
-    ).concatenated_graph()
-    profile = BranchProfile.measure(graph, spec, sample_packets=256,
-                                    batch_size=64)
-    for delta in deltas:
-        allocator = GraphTaskAllocator(platform=engine.platform,
-                                       delta=delta)
-        start = time.perf_counter()
-        mapping, _report = allocator.allocate(graph, spec,
-                                              batch_size=64,
-                                              branch_profile=profile)
-        planning = time.perf_counter() - start
-        deployment = Deployment(graph, mapping, persistent_kernel=True,
-                                name=f"delta-{delta}")
-        result = common.measure(engine, deployment, spec,
-                                batch_size=64, batch_count=batch_count,
-                                branch_profile=profile)
-        rows.append(AblationRow(
-            study="expansion_delta",
-            variant=f"delta={delta:g}",
-            throughput_gbps=result.throughput_gbps,
-            latency_ms=result.latency_ms,
-            planning_seconds=planning,
-        ))
-    return rows
+    return common.run_sweep(
+        sweep_spec(quick=quick, studies=("expansion_delta",),
+                   deltas=deltas)
+    )
 
 
-def run_all(quick: bool = True) -> List[AblationRow]:
-    """Run every ablation study; returns the combined rows."""
-    rows: List[AblationRow] = []
-    rows.extend(ablate_reorganization(quick))
-    rows.extend(ablate_partition_algorithm(quick))
-    rows.extend(ablate_persistent_kernel(quick))
-    rows.extend(ablate_expansion_delta(quick))
-    return rows
-
-
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1,
+         runner=None) -> str:
     """Render all ablation results as one table."""
-    rows = run_all(quick)
+    rows = run_all(quick, jobs=jobs, runner=runner)
     return common.format_table(
         ["study", "variant", "Gbps", "latency ms", "planning s"],
         [[r.study, r.variant, r.throughput_gbps, r.latency_ms,

@@ -3,20 +3,30 @@
 Standard platform/engine construction, dedicated-core mappings (the
 characterization experiments pin each element to its own core, as the
 paper pins NFs to dedicated cores), two-pass capacity/latency
-measurement, and plain-text table rendering.
+measurement, plain-text table rendering, and the sweep plumbing every
+harness shares: each driver describes its parameter grid as a
+:class:`SweepSpec` (re-exported here from :mod:`repro.runner`) and
+executes it through :func:`run_sweep`, which gives every experiment
+``jobs=N`` parallelism and content-addressed result caching for free.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement
 from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
 from repro.obs import resolve_trace
+from repro.runner import (  # noqa: F401  (re-exported sweep API)
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
 from repro.sim.engine import BranchProfile, SimulationEngine
 from repro.sim.mapping import Deployment, Mapping, Placement
 from repro.sim.metrics import ThroughputLatencyReport
@@ -24,6 +34,44 @@ from repro.traffic.generator import TrafficSpec
 
 #: Offered load used to saturate deployments (far above any capacity).
 SATURATING_GBPS = 200.0
+
+#: Default on-disk sweep cache directory (``repro experiments run``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def make_runner(jobs: int = 1, use_cache: bool = False,
+                cache_dir: Optional[str] = None) -> SweepRunner:
+    """A sweep runner configured like the CLI's ``--jobs/--no-cache``.
+
+    ``use_cache=True`` persists results under ``cache_dir`` (default
+    :data:`DEFAULT_CACHE_DIR`); without it the runner recomputes every
+    point.
+    """
+    cache = None
+    if use_cache:
+        cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR)
+    return SweepRunner(jobs=jobs, cache=cache)
+
+
+def sweep_context(traffic: Optional[TrafficSpec] = None,
+                  chain: Optional[Any] = None,
+                  platform: Optional[PlatformSpec] = None,
+                  **extra: Any) -> Dict[str, Any]:
+    """The static fingerprint context of a standard-platform sweep.
+
+    Bundles the deployment identity the point function closes over —
+    platform config, traffic spec, chain description — so the cache
+    key covers them even though they are not per-point parameters.
+    """
+    context: Dict[str, Any] = {
+        "platform": platform or PlatformSpec(),
+    }
+    if traffic is not None:
+        context["traffic"] = traffic
+    if chain is not None:
+        context["chain"] = chain
+    context.update(extra)
+    return context
 
 
 def make_engine(platform: Optional[PlatformSpec] = None,

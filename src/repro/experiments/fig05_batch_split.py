@@ -76,41 +76,66 @@ def build_branch_chain(stages: int, with_split: bool) -> ElementGraph:
     return graph
 
 
-def run(quick: bool = True, stage_counts: List[int] = (4,),
-        batch_size: int = 64) -> List[Fig5Row]:
-    """Measure both variants for each chain depth."""
+def _traffic() -> TrafficSpec:
+    return TrafficSpec(size_law=FixedSize(64), offered_gbps=40.0)
+
+
+def _measure_point(stages: int, with_split: bool, batch_size: int,
+                   batch_count: int) -> List[Fig5Row]:
+    """One sweep point: measure one (stages, variant) configuration."""
+    from repro.sim.mapping import Deployment
+
     engine = common.make_engine()
-    batch_count = 60 if quick else 200
-    spec = TrafficSpec(size_law=FixedSize(64), offered_gbps=40.0)
-    rows: List[Fig5Row] = []
-    for stages in stage_counts:
-        for with_split in (False, True):
-            graph = build_branch_chain(stages, with_split)
-            mapping = common.dedicated_core_mapping(graph)
-            from repro.sim.mapping import Deployment
-            deployment = Deployment(
-                graph, mapping,
-                name="with_split" if with_split else "without_split",
-            )
-            report = engine.session(deployment).run(
-                common.saturated(spec),
-                batch_size=batch_size, batch_count=batch_count,
-            )
-            rows.append(Fig5Row(
-                variant=deployment.name,
-                stages=stages,
-                throughput_gbps=report.throughput_gbps,
-                reorganization_fraction=(
-                    report.overheads.reorganization_fraction
-                ),
-                split_ops=report.overheads.batch_split,
-            ))
-    return rows
+    graph = build_branch_chain(stages, with_split)
+    mapping = common.dedicated_core_mapping(graph)
+    deployment = Deployment(
+        graph, mapping,
+        name="with_split" if with_split else "without_split",
+    )
+    report = engine.session(deployment).run(
+        common.saturated(_traffic()),
+        batch_size=batch_size, batch_count=batch_count,
+    )
+    return [Fig5Row(
+        variant=deployment.name,
+        stages=stages,
+        throughput_gbps=report.throughput_gbps,
+        reorganization_fraction=report.overheads.reorganization_fraction,
+        split_ops=report.overheads.batch_split,
+    )]
 
 
-def main(quick: bool = True) -> str:
+def sweep_spec(quick: bool = True, stage_counts: List[int] = (4,),
+               batch_size: int = 64) -> common.SweepSpec:
+    """The Fig. 5 parameter grid as a runnable sweep."""
+    return common.SweepSpec(
+        name="fig05.batch_split",
+        point=_measure_point,
+        row_type=Fig5Row,
+        grid=[{"stages": stages, "with_split": with_split}
+              for stages in stage_counts
+              for with_split in (False, True)],
+        params={"batch_size": batch_size,
+                "batch_count": 60 if quick else 200},
+        context=common.sweep_context(traffic=_traffic()),
+    )
+
+
+def run(quick: bool = True, stage_counts: List[int] = (4,),
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig5Row]:
+    """Measure both variants for each chain depth."""
+    return common.run_sweep(
+        sweep_spec(quick=quick, stage_counts=stage_counts,
+                   batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
+
+
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 5 table plus the no-split/split ratio notes."""
-    rows = run(quick=quick, stage_counts=[1, 2, 4, 6])
+    rows = run(quick=quick, stage_counts=[1, 2, 4, 6], jobs=jobs,
+               runner=runner)
     table = common.format_table(
         ["variant", "stages", "Gbps", "reorg fraction"],
         [[r.variant, r.stages, r.throughput_gbps,

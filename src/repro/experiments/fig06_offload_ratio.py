@@ -33,37 +33,62 @@ class Fig6Row:
     throughput_gbps: float
 
 
+def _measure_point(nf_type: str, offload_ratio: float,
+                   packet_size: int, batch_size: int,
+                   batch_count: int) -> List[Fig6Row]:
+    """One sweep point: one NF at one offload ratio."""
+    engine = common.make_engine()
+    spec = TrafficSpec(size_law=FixedSize(packet_size),
+                       offered_gbps=80.0)
+    graph = ServiceFunctionChain([make_nf(nf_type)]).concatenated_graph()
+    mapping = common.dedicated_core_mapping(
+        graph, offload_ratio=offload_ratio
+    )
+    deployment = Deployment(
+        graph, mapping, persistent_kernel=False,
+        name=f"{nf_type}@{offload_ratio:.0%}",
+    )
+    report = engine.session(deployment).run(
+        common.saturated(spec),
+        batch_size=batch_size, batch_count=batch_count,
+    )
+    return [Fig6Row(
+        nf_type=nf_type,
+        offload_ratio=offload_ratio,
+        throughput_gbps=report.throughput_gbps,
+    )]
+
+
+def sweep_spec(quick: bool = True,
+               nf_types: Sequence[str] = NF_TYPES,
+               ratios: Sequence[float] = RATIOS,
+               packet_size: int = 64,
+               batch_size: int = 64) -> common.SweepSpec:
+    """The Fig. 6 parameter grid as a runnable sweep."""
+    return common.SweepSpec(
+        name="fig06.offload_ratio",
+        point=_measure_point,
+        row_type=Fig6Row,
+        grid=[{"nf_type": nf_type, "offload_ratio": ratio}
+              for nf_type in nf_types for ratio in ratios],
+        params={"packet_size": packet_size, "batch_size": batch_size,
+                "batch_count": 60 if quick else 200},
+        context=common.sweep_context(),
+    )
+
+
 def run(quick: bool = True,
         nf_types: Sequence[str] = NF_TYPES,
         ratios: Sequence[float] = RATIOS,
         packet_size: int = 64,
-        batch_size: int = 64) -> List[Fig6Row]:
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig6Row]:
     """Sweep offload ratios for each NF; returns one row per point."""
-    engine = common.make_engine()
-    batch_count = 60 if quick else 200
-    spec = TrafficSpec(size_law=FixedSize(packet_size), offered_gbps=80.0)
-    rows: List[Fig6Row] = []
-    for nf_type in nf_types:
-        nf = make_nf(nf_type)
-        graph = ServiceFunctionChain([nf]).concatenated_graph()
-        for ratio in ratios:
-            mapping = common.dedicated_core_mapping(
-                graph, offload_ratio=ratio
-            )
-            deployment = Deployment(
-                graph, mapping, persistent_kernel=False,
-                name=f"{nf_type}@{ratio:.0%}",
-            )
-            report = engine.session(deployment).run(
-                common.saturated(spec),
-                batch_size=batch_size, batch_count=batch_count,
-            )
-            rows.append(Fig6Row(
-                nf_type=nf_type,
-                offload_ratio=ratio,
-                throughput_gbps=report.throughput_gbps,
-            ))
-    return rows
+    return common.run_sweep(
+        sweep_spec(quick=quick, nf_types=nf_types, ratios=ratios,
+                   packet_size=packet_size, batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def best_ratios(rows: List[Fig6Row]) -> Dict[str, float]:
@@ -76,9 +101,9 @@ def best_ratios(rows: List[Fig6Row]) -> Dict[str, float]:
     return {nf: r.offload_ratio for nf, r in best.items()}
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 6 table, per-NF sparklines, and best ratios."""
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["NF", "offload ratio", "Gbps"],
         [[r.nf_type, f"{r.offload_ratio:.0%}", r.throughput_gbps]

@@ -45,37 +45,64 @@ class Fig7Row:
     throughput_gbps: float
 
 
+def _measure_point(case: str, nf_types: Sequence[str], policy: str,
+                   offload_ratio: float, packet_size: int,
+                   batch_size: int, batch_count: int) -> List[Fig7Row]:
+    """One sweep point: one (chain case, offload policy) pair."""
+    engine = common.make_engine()
+    spec = TrafficSpec(size_law=FixedSize(packet_size),
+                       offered_gbps=80.0)
+    sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
+    graph = sfc.concatenated_graph()
+    mapping = common.dedicated_core_mapping(
+        graph, offload_ratio=offload_ratio, gpus=("gpu0", "gpu1")
+    )
+    deployment = Deployment(
+        graph, mapping, persistent_kernel=False,
+        name=f"{case}:{policy}",
+    )
+    report = engine.session(deployment).run(
+        common.saturated(spec),
+        batch_size=batch_size, batch_count=batch_count,
+    )
+    return [Fig7Row(
+        case=case,
+        chain="+".join(nf_types),
+        policy=policy,
+        throughput_gbps=report.throughput_gbps,
+    )]
+
+
+def sweep_spec(quick: bool = True,
+               cases: Sequence = CASES,
+               packet_size: int = 64,
+               batch_size: int = 64) -> common.SweepSpec:
+    """The Fig. 7 parameter grid as a runnable sweep."""
+    return common.SweepSpec(
+        name="fig07.sfc_length",
+        point=_measure_point,
+        row_type=Fig7Row,
+        grid=[{"case": case_id, "nf_types": tuple(nf_types),
+               "policy": policy, "offload_ratio": ratio}
+              for case_id, nf_types in cases
+              for policy, ratio in POLICIES],
+        params={"packet_size": packet_size, "batch_size": batch_size,
+                "batch_count": 60 if quick else 200},
+        context=common.sweep_context(),
+    )
+
+
 def run(quick: bool = True,
         cases: Sequence = CASES,
         packet_size: int = 64,
-        batch_size: int = 64) -> List[Fig7Row]:
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig7Row]:
     """Measure every (case, policy) pair; returns one row each."""
-    engine = common.make_engine()
-    batch_count = 60 if quick else 200
-    spec = TrafficSpec(size_law=FixedSize(packet_size), offered_gbps=80.0)
-    rows: List[Fig7Row] = []
-    for case_id, nf_types in cases:
-        sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
-        graph = sfc.concatenated_graph()
-        for policy, ratio in POLICIES:
-            mapping = common.dedicated_core_mapping(
-                graph, offload_ratio=ratio, gpus=("gpu0", "gpu1")
-            )
-            deployment = Deployment(
-                graph, mapping, persistent_kernel=False,
-                name=f"{case_id}:{policy}",
-            )
-            report = engine.session(deployment).run(
-                common.saturated(spec),
-                batch_size=batch_size, batch_count=batch_count,
-            )
-            rows.append(Fig7Row(
-                case=case_id,
-                chain="+".join(nf_types),
-                policy=policy,
-                throughput_gbps=report.throughput_gbps,
-            ))
-    return rows
+    return common.run_sweep(
+        sweep_spec(quick=quick, cases=cases, packet_size=packet_size,
+                   batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def acceleration_by_case(rows: List[Fig7Row]) -> Dict[str, float]:
@@ -90,9 +117,9 @@ def acceleration_by_case(rows: List[Fig7Row]) -> Dict[str, float]:
     }
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 7 table and per-case acceleration notes."""
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["case", "chain", "policy", "Gbps"],
         [[r.case, r.chain, r.policy, r.throughput_gbps] for r in rows],

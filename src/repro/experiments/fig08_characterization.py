@@ -50,51 +50,83 @@ class InterferenceRow:
     drop_fraction: float
 
 
-def run_batch_sweep(quick: bool = True,
-                    nf_types: Sequence[str] = ("ipv4", "ipv6",
-                                               "ipsec", "dpi"),
-                    batch_sizes: Sequence[int] = BATCH_SIZES,
-                    packet_size: int = 256) -> List[BatchSweepRow]:
-    """Fig. 8(a–d): batch-size sweeps per NF on CPU and GPU."""
+def _batch_point(nf_type: str, platform: str, match_profile: str,
+                 batch_size: int, packet_size: int,
+                 batch_count: int) -> List[BatchSweepRow]:
+    """One sweep point: one NF on one platform at one batch size."""
     engine = common.make_engine()
-    batch_count = 40 if quick else 120
-    rows: List[BatchSweepRow] = []
+    profile = MatchProfile(match_profile)
+    spec = TrafficSpec(
+        size_law=FixedSize(packet_size),
+        offered_gbps=80.0,
+        ip_version=6 if nf_type == "ipv6" else 4,
+        match_profile=profile,
+    )
+    graph = ServiceFunctionChain([make_nf(nf_type)]).concatenated_graph()
+    mapping = common.dedicated_core_mapping(
+        graph, offload_ratio=0.0 if platform == "cpu" else 1.0
+    )
+    deployment = Deployment(
+        graph, mapping, persistent_kernel=False,
+        name=f"{nf_type}-{platform}",
+    )
+    report = engine.session(deployment).run(
+        common.saturated(spec),
+        batch_size=batch_size, batch_count=batch_count,
+    )
+    return [BatchSweepRow(
+        nf_type=nf_type,
+        platform=platform,
+        batch_size=batch_size,
+        match_profile=profile.value,
+        throughput_gbps=report.throughput_gbps,
+    )]
+
+
+def batch_sweep_spec(quick: bool = True,
+                     nf_types: Sequence[str] = ("ipv4", "ipv6",
+                                                "ipsec", "dpi"),
+                     batch_sizes: Sequence[int] = BATCH_SIZES,
+                     packet_size: int = 256) -> common.SweepSpec:
+    """The Fig. 8(a–d) parameter grid as a runnable sweep."""
+    grid = []
     for nf_type in nf_types:
         profiles = ([MatchProfile.NO_MATCH, MatchProfile.FULL_MATCH]
                     if nf_type == "dpi"
                     else [MatchProfile.PARTIAL_MATCH])
-        ip_version = 6 if nf_type == "ipv6" else 4
-        nf = make_nf(nf_type)
-        graph = ServiceFunctionChain([nf]).concatenated_graph()
         for profile in profiles:
-            spec = TrafficSpec(
-                size_law=FixedSize(packet_size),
-                offered_gbps=80.0,
-                ip_version=ip_version,
-                match_profile=profile,
-            )
-            for platform_kind, ratio in (("cpu", 0.0), ("gpu", 1.0)):
-                mapping = common.dedicated_core_mapping(
-                    graph, offload_ratio=ratio
-                )
-                deployment = Deployment(
-                    graph, mapping, persistent_kernel=False,
-                    name=f"{nf_type}-{platform_kind}",
-                )
-                session = engine.session(deployment)
+            for platform_kind in ("cpu", "gpu"):
                 for batch_size in batch_sizes:
-                    report = session.run(
-                        common.saturated(spec),
-                        batch_size=batch_size, batch_count=batch_count,
-                    )
-                    rows.append(BatchSweepRow(
-                        nf_type=nf_type,
-                        platform=platform_kind,
-                        batch_size=batch_size,
-                        match_profile=profile.value,
-                        throughput_gbps=report.throughput_gbps,
-                    ))
-    return rows
+                    grid.append({
+                        "nf_type": nf_type,
+                        "platform": platform_kind,
+                        "match_profile": profile.value,
+                        "batch_size": batch_size,
+                    })
+    return common.SweepSpec(
+        name="fig08.batch_sweep",
+        point=_batch_point,
+        row_type=BatchSweepRow,
+        grid=grid,
+        params={"packet_size": packet_size,
+                "batch_count": 40 if quick else 120},
+        context=common.sweep_context(),
+    )
+
+
+def run_batch_sweep(quick: bool = True,
+                    nf_types: Sequence[str] = ("ipv4", "ipv6",
+                                               "ipsec", "dpi"),
+                    batch_sizes: Sequence[int] = BATCH_SIZES,
+                    packet_size: int = 256, jobs: int = 1,
+                    runner=None) -> List[BatchSweepRow]:
+    """Fig. 8(a–d): batch-size sweeps per NF on CPU and GPU."""
+    return common.run_sweep(
+        batch_sweep_spec(quick=quick, nf_types=nf_types,
+                         batch_sizes=batch_sizes,
+                         packet_size=packet_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def run_interference(nf_types: Sequence[str] = COEXIST_NFS
@@ -144,10 +176,10 @@ def dpi_cpu_knee(rows: List[BatchSweepRow]) -> bool:
     return peak_batch <= 256 and series[-1][1] < max(s[1] for s in series)
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render all Fig. 8 artifacts: sweeps, matrix, headline checks."""
     from repro.experiments.plots import bar_chart, sparkline
-    sweep = run_batch_sweep(quick=quick)
+    sweep = run_batch_sweep(quick=quick, jobs=jobs, runner=runner)
     matrix, averages = run_interference()
     curves = []
     keys = dict.fromkeys((r.nf_type, r.platform, r.match_profile)

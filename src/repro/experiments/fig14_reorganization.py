@@ -120,80 +120,167 @@ class _PrebuiltNF(NetworkFunction):
         self._graph = graph
 
 
-def run(quick: bool = True,
-        nf_types: Sequence[str] = NF_TYPES,
-        configs: Sequence[str] = CONFIGS,
-        batch_size: int = 64) -> List[Fig14Row]:
-    """Measure all configurations.
+@dataclass
+class Fig14Capacity:
+    """Phase-1 row: one configuration's measured capacity."""
+
+    nf_type: str
+    config: str
+    platform: str
+    effective_length: int
+    capacity_gbps: float
+
+
+def _traffic() -> TrafficSpec:
+    return TrafficSpec(size_law=FixedSize(64), protocol="tcp",
+                       offered_gbps=40.0)
+
+
+def _prepare(nf_type: str, config: str, platform: str, batch_size: int):
+    """Build (graph, effective_length, profile, session) for a point."""
+    from repro.sim.engine import BranchProfile
+
+    graph, effective_length = build_config(nf_type, config)
+    # Runtime profiling: the engine needs measured drop/port fractions
+    # (notably the XorMerge's duplicate collapse).
+    profile = BranchProfile.measure(
+        graph.clone(), _traffic(), sample_packets=192,
+        batch_size=batch_size,
+    )
+    ratio = 1.0 if platform == "gpu" else 0.0
+    mapping = common.dedicated_core_mapping(
+        graph, offload_ratio=ratio, gpus=("gpu0", "gpu1")
+    )
+    deployment = Deployment(
+        graph, mapping, persistent_kernel=False,
+        name=f"{nf_type}/{config}/{platform}",
+    )
+    session = common.make_engine().session(deployment)
+    return effective_length, profile, session
+
+
+def _capacity_point(nf_type: str, config: str, platform: str,
+                    batch_size: int,
+                    batch_count: int) -> List[Fig14Capacity]:
+    """Phase-1 point: saturate one configuration on one platform."""
+    effective_length, profile, session = _prepare(
+        nf_type, config, platform, batch_size
+    )
+    capacity = session.run(
+        common.saturated(_traffic()),
+        batch_size=batch_size, batch_count=batch_count,
+        branch_profile=profile,
+    ).throughput_gbps
+    return [Fig14Capacity(
+        nf_type=nf_type,
+        config=config,
+        platform=platform,
+        effective_length=effective_length,
+        capacity_gbps=capacity,
+    )]
+
+
+def _latency_point(nf_type: str, config: str, platform: str,
+                   effective_length: int, capacity_gbps: float,
+                   shared_load: float, batch_size: int,
+                   batch_count: int) -> List[Fig14Row]:
+    """Phase-2 point: latency at the group's shared offered load."""
+    _length, profile, session = _prepare(
+        nf_type, config, platform, batch_size
+    )
+    latency_report = session.run(
+        common.at_load(_traffic(), max(0.05, shared_load)),
+        batch_size=batch_size, batch_count=batch_count,
+        branch_profile=profile,
+    )
+    return [Fig14Row(
+        nf_type=nf_type,
+        config=config,
+        platform=platform,
+        effective_length=effective_length,
+        throughput_gbps=capacity_gbps,
+        latency_ms=latency_report.latency.mean_ms,
+    )]
+
+
+def capacity_sweep_spec(quick: bool = True,
+                        nf_types: Sequence[str] = NF_TYPES,
+                        configs: Sequence[str] = CONFIGS,
+                        batch_size: int = 64) -> common.SweepSpec:
+    """Phase 1: every configuration's capacity, per platform."""
+    return common.SweepSpec(
+        name="fig14.capacity",
+        point=_capacity_point,
+        row_type=Fig14Capacity,
+        grid=[{"nf_type": nf_type, "config": config,
+               "platform": platform_kind}
+              for nf_type in nf_types
+              for config in configs
+              for platform_kind in PLATFORMS],
+        params={"batch_size": batch_size,
+                "batch_count": 50 if quick else 150},
+        context=common.sweep_context(traffic=_traffic()),
+    )
+
+
+def latency_sweep_spec(capacities: List[Fig14Capacity],
+                       quick: bool = True,
+                       batch_size: int = 64) -> common.SweepSpec:
+    """Phase 2: latency at a shared load per (NF, platform) group.
 
     Latency must be compared at a *common* offered load — comparing
     each configuration at a fraction of its own capacity would load
-    faster configurations harder.  We therefore measure capacity for
-    every configuration first, then take latencies at 70 % of the
+    faster configurations harder.  The shared load is 85 % of the
     slowest configuration's capacity within each (NF, platform) group.
     """
-    from repro.sim.engine import BranchProfile
-
-    engine = common.make_engine()
-    batch_count = 50 if quick else 150
-    spec = TrafficSpec(size_law=FixedSize(64), protocol="tcp",
-                       offered_gbps=40.0)
-    staged: List[dict] = []
-    for nf_type in nf_types:
-        for config in configs:
-            graph, effective_length = build_config(nf_type, config)
-            # Runtime profiling: the engine needs measured drop/port
-            # fractions (notably the XorMerge's duplicate collapse).
-            profile = BranchProfile.measure(
-                graph.clone(), spec, sample_packets=192,
-                batch_size=batch_size,
-            )
-            for platform_kind in PLATFORMS:
-                ratio = 1.0 if platform_kind == "gpu" else 0.0
-                mapping = common.dedicated_core_mapping(
-                    graph, offload_ratio=ratio, gpus=("gpu0", "gpu1")
-                )
-                deployment = Deployment(
-                    graph, mapping, persistent_kernel=False,
-                    name=f"{nf_type}/{config}/{platform_kind}",
-                )
-                session = engine.session(deployment)
-                capacity = session.run(
-                    common.saturated(spec),
-                    batch_size=batch_size, batch_count=batch_count,
-                    branch_profile=profile,
-                ).throughput_gbps
-                staged.append({
-                    "nf_type": nf_type,
-                    "config": config,
-                    "platform": platform_kind,
-                    "effective_length": effective_length,
-                    "session": session,
-                    "profile": profile,
-                    "capacity": capacity,
-                })
-    rows: List[Fig14Row] = []
-    for nf_type in nf_types:
+    shared_loads: Dict[Tuple[str, str], float] = {}
+    for row in capacities:
+        key = (row.nf_type, row.platform)
+        shared_loads[key] = min(shared_loads.get(key, float("inf")),
+                                row.capacity_gbps)
+    grid = []
+    for nf_type in dict.fromkeys(r.nf_type for r in capacities):
         for platform_kind in PLATFORMS:
-            group = [s for s in staged
-                     if s["nf_type"] == nf_type
-                     and s["platform"] == platform_kind]
-            shared_load = 0.85 * min(s["capacity"] for s in group)
+            group = [r for r in capacities
+                     if r.nf_type == nf_type
+                     and r.platform == platform_kind]
             for entry in group:
-                latency_report = entry["session"].run(
-                    common.at_load(spec, max(0.05, shared_load)),
-                    batch_size=batch_size, batch_count=batch_count,
-                    branch_profile=entry["profile"],
-                )
-                rows.append(Fig14Row(
-                    nf_type=nf_type,
-                    config=entry["config"],
-                    platform=platform_kind,
-                    effective_length=entry["effective_length"],
-                    throughput_gbps=entry["capacity"],
-                    latency_ms=latency_report.latency.mean_ms,
-                ))
-    return rows
+                grid.append({
+                    "nf_type": entry.nf_type,
+                    "config": entry.config,
+                    "platform": entry.platform,
+                    "effective_length": entry.effective_length,
+                    "capacity_gbps": entry.capacity_gbps,
+                    "shared_load":
+                        0.85 * shared_loads[(nf_type, platform_kind)],
+                })
+    return common.SweepSpec(
+        name="fig14.latency",
+        point=_latency_point,
+        row_type=Fig14Row,
+        grid=grid,
+        params={"batch_size": batch_size,
+                "batch_count": 50 if quick else 150},
+        context=common.sweep_context(traffic=_traffic()),
+    )
+
+
+def run(quick: bool = True,
+        nf_types: Sequence[str] = NF_TYPES,
+        configs: Sequence[str] = CONFIGS,
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig14Row]:
+    """Measure all configurations in two phases (capacity, latency)."""
+    capacities = common.run_sweep(
+        capacity_sweep_spec(quick=quick, nf_types=nf_types,
+                            configs=configs, batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
+    return common.run_sweep(
+        latency_sweep_spec(capacities, quick=quick,
+                           batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def latency_reduction(rows: List[Fig14Row], nf_type: str,
@@ -210,9 +297,9 @@ def latency_reduction(rows: List[Fig14Row], nf_type: str,
     return 1.0 - target.latency_ms / base.latency_ms
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 14 table and latency-reduction notes."""
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["NF", "config", "platform", "eff.len", "Gbps", "latency ms"],
         [[r.nf_type, r.config, r.platform, r.effective_length,

@@ -52,69 +52,90 @@ class Fig15Row:
     latency_ms: float
 
 
-def run(quick: bool = True,
-        setups: Sequence = SETUPS,
-        batch_size: int = 64) -> List[Fig15Row]:
-    """Measure every (setup, system) pair under IMIX traffic."""
+def _measure_point(setup: str, nf_types: Sequence[str], system: str,
+                   batch_size: int, batch_count: int,
+                   optimal_batch_count: int,
+                   refine_passes: int) -> List[Fig15Row]:
+    """One sweep point: one (setup, system) pair under IMIX."""
     platform = common.make_engine().platform
     engine = common.make_engine(platform)
-    batch_count = 50 if quick else 150
-    rows: List[Fig15Row] = []
-    for setup_name, nf_types in setups:
-        ip_version = 6 if nf_types == ("ipv6",) else 4
-        spec = TrafficSpec(size_law=IMIXSize(), offered_gbps=40.0,
-                           ip_version=ip_version)
-        sfc = ServiceFunctionChain([make_nf(t) for t in nf_types],
-                                   name=setup_name)
-        graph = sfc.concatenated_graph()
-        profile = BranchProfile.measure(graph, spec,
-                                        sample_packets=256,
-                                        batch_size=batch_size)
-
-        deployments: Dict[str, Deployment] = {}
-        cpu_baseline = CPUOnlyBaseline(platform=platform)
-        deployments["cpu-only"] = Deployment(
-            graph, cpu_baseline.make_mapping(graph, spec, batch_size),
-            persistent_kernel=True, name=f"cpu-only:{setup_name}",
-        )
-        gpu_baseline = GPUOnlyBaseline(platform=platform,
-                                       persistent_kernel=True)
-        deployments["gpu-only"] = Deployment(
-            graph, gpu_baseline.make_mapping(graph, spec, batch_size),
-            persistent_kernel=True, name=f"gpu-only:{setup_name}",
-        )
+    ip_version = 6 if tuple(nf_types) == ("ipv6",) else 4
+    spec = TrafficSpec(size_law=IMIXSize(), offered_gbps=40.0,
+                       ip_version=ip_version)
+    sfc = ServiceFunctionChain([make_nf(t) for t in nf_types],
+                               name=setup)
+    graph = sfc.concatenated_graph()
+    profile = BranchProfile.measure(graph, spec,
+                                    sample_packets=256,
+                                    batch_size=batch_size)
+    if system == "cpu-only":
+        baseline = CPUOnlyBaseline(platform=platform)
+        mapping = baseline.make_mapping(graph, spec, batch_size)
+    elif system == "gpu-only":
+        baseline = GPUOnlyBaseline(platform=platform,
+                                   persistent_kernel=True)
+        mapping = baseline.make_mapping(graph, spec, batch_size)
+    elif system == "gta":
         allocator = GraphTaskAllocator(platform=platform,
                                        persistent_kernel=True)
-        gta_mapping, _report = allocator.allocate(
+        mapping, _report = allocator.allocate(
             graph, spec, batch_size=batch_size, branch_profile=profile,
         )
-        deployments["gta"] = Deployment(
-            graph, gta_mapping, persistent_kernel=True,
-            name=f"gta:{setup_name}",
-        )
+    elif system == "optimal":
         optimal = ExhaustiveOptimalBaseline(
             platform=platform, persistent_kernel=True,
-            batch_count=30 if quick else 60,
-            refine_passes=0 if quick else 1,
+            batch_count=optimal_batch_count,
+            refine_passes=refine_passes,
         )
-        deployments["optimal"] = Deployment(
-            graph, optimal.make_mapping(graph, spec, batch_size),
-            persistent_kernel=True, name=f"optimal:{setup_name}",
-        )
+        mapping = optimal.make_mapping(graph, spec, batch_size)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    deployment = Deployment(
+        graph, mapping, persistent_kernel=True,
+        name=f"{system}:{setup}",
+    )
+    result = common.measure(
+        engine, deployment, spec,
+        batch_size=batch_size, batch_count=batch_count,
+        branch_profile=profile,
+    )
+    return [Fig15Row(
+        setup=setup,
+        system=system,
+        throughput_gbps=result.throughput_gbps,
+        latency_ms=result.latency_ms,
+    )]
 
-        for system in SYSTEMS:
-            result = common.measure(
-                engine, deployments[system], spec,
-                batch_size=batch_size, batch_count=batch_count,
-                branch_profile=profile,
-            )
-            rows.append(Fig15Row(
-                setup=setup_name,
-                system=system,
-                throughput_gbps=result.throughput_gbps,
-                latency_ms=result.latency_ms,
-            ))
-    return rows
+
+def sweep_spec(quick: bool = True,
+               setups: Sequence = SETUPS,
+               batch_size: int = 64) -> common.SweepSpec:
+    """The Fig. 15 parameter grid as a runnable sweep."""
+    return common.SweepSpec(
+        name="fig15.gta",
+        point=_measure_point,
+        row_type=Fig15Row,
+        grid=[{"setup": setup_name, "nf_types": tuple(nf_types),
+               "system": system}
+              for setup_name, nf_types in setups
+              for system in SYSTEMS],
+        params={"batch_size": batch_size,
+                "batch_count": 50 if quick else 150,
+                "optimal_batch_count": 30 if quick else 60,
+                "refine_passes": 0 if quick else 1},
+        context=common.sweep_context(),
+    )
+
+
+def run(quick: bool = True,
+        setups: Sequence = SETUPS,
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig15Row]:
+    """Measure every (setup, system) pair under IMIX traffic."""
+    return common.run_sweep(
+        sweep_spec(quick=quick, setups=setups, batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def gta_vs_optimal(rows: List[Fig15Row]) -> Dict[str, float]:
@@ -148,9 +169,9 @@ def gta_gain_over_best_effort(rows: List[Fig15Row]) -> Dict[str, float]:
     return gains
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 15 table, GTA/optimal ratios, and gains."""
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["setup", "system", "Gbps", "latency ms"],
         [[r.setup, r.system, r.throughput_gbps, r.latency_ms]

@@ -65,77 +65,155 @@ def _make_sfc(acl_rules: int, matcher_kind: str,
     )
 
 
+@dataclass
+class Fig17Capacity:
+    """Phase-1 row: one system's capacity in one (ACL, pkt) cell."""
+
+    system: str
+    acl_rules: int
+    packet_size: int
+    capacity_gbps: float
+
+
+def _prepare(system: str, acl_rules: int, packet_size: int,
+             batch_size: int):
+    """Build (spec, session) for one system in one grid cell."""
+    platform = common.make_engine().platform
+    engine = common.make_engine(platform)
+    spec = TrafficSpec(size_law=FixedSize(packet_size),
+                       offered_gbps=40.0)
+    tag = f"{system}-{acl_rules}-{packet_size}"
+    if system == "fastclick":
+        sfc = _make_sfc(acl_rules, "tree", tag)
+        deployment = FastClickBaseline(
+            platform=platform
+        ).deploy(sfc, spec, batch_size=batch_size)
+    elif system == "nba":
+        sfc = _make_sfc(acl_rules, "tree", tag)
+        deployment = NBABaseline(
+            platform=platform
+        ).deploy(sfc, spec, batch_size=batch_size)
+    else:
+        sfc = _make_sfc(acl_rules, "tuple_space", tag)
+        compass = NFCompass(platform=platform)
+        plan = compass.deploy(sfc, spec, batch_size=batch_size)
+        deployment = plan.deployment
+    return spec, engine.session(deployment)
+
+
+def _capacity_point(system: str, acl_rules: int, packet_size: int,
+                    batch_size: int,
+                    batch_count: int) -> List[Fig17Capacity]:
+    """Phase-1 point: saturate one system in one cell."""
+    spec, session = _prepare(system, acl_rules, packet_size, batch_size)
+    capacity = session.run(
+        common.saturated(spec),
+        batch_size=batch_size, batch_count=batch_count,
+    ).throughput_gbps
+    return [Fig17Capacity(
+        system=system,
+        acl_rules=acl_rules,
+        packet_size=packet_size,
+        capacity_gbps=capacity,
+    )]
+
+
+def _latency_point(system: str, acl_rules: int, packet_size: int,
+                   capacity_gbps: float, shared_load: float,
+                   batch_size: int, batch_count: int) -> List[Fig17Row]:
+    """Phase-2 point: latency at the cell's fixed offered load."""
+    spec, session = _prepare(system, acl_rules, packet_size, batch_size)
+    latency_report = session.run(
+        common.at_load(spec, max(0.05, shared_load)),
+        batch_size=batch_size, batch_count=batch_count,
+    )
+    return [Fig17Row(
+        system=system,
+        acl_rules=acl_rules,
+        packet_size=packet_size,
+        throughput_gbps=capacity_gbps,
+        latency_ms=latency_report.latency.mean_ms,
+        latency_std_us=(latency_report.latency.variance ** 0.5 * 1e6),
+    )]
+
+
+def capacity_sweep_spec(quick: bool = True,
+                        acl_sizes: Sequence[int] = ACL_SIZES,
+                        packet_sizes: Sequence[int] = PACKET_SIZES,
+                        batch_size: int = 64) -> common.SweepSpec:
+    """Phase 1: every system's capacity in every grid cell."""
+    return common.SweepSpec(
+        name="fig17.capacity",
+        point=_capacity_point,
+        row_type=Fig17Capacity,
+        grid=[{"system": system, "acl_rules": acl_rules,
+               "packet_size": packet_size}
+              for acl_rules in sorted(acl_sizes)
+              for packet_size in packet_sizes
+              for system in SYSTEMS],
+        params={"batch_size": batch_size,
+                "batch_count": 50 if quick else 150},
+        context=common.sweep_context(),
+    )
+
+
+def latency_sweep_spec(capacities: List[Fig17Capacity],
+                       quick: bool = True,
+                       batch_size: int = 64) -> common.SweepSpec:
+    """Phase 2: latency at a fixed offered load per packet size.
+
+    The offered load is fixed per packet size at the smallest-ACL
+    operating point (80 % of the slowest system's capacity there) and
+    kept constant as the ACL grows — exactly the paper's methodology,
+    where the same traffic drives every ACL size.  A system whose
+    capacity collapses below the offered load overloads and its
+    latency explodes (FastClick's "order of magnitude" at ACL 10000).
+    """
+    fixed_load: Dict[int, float] = {}
+    smallest_acl = min(r.acl_rules for r in capacities)
+    for row in capacities:
+        if row.acl_rules != smallest_acl:
+            continue
+        current = fixed_load.get(row.packet_size, float("inf"))
+        fixed_load[row.packet_size] = min(current,
+                                          0.8 * row.capacity_gbps)
+    return common.SweepSpec(
+        name="fig17.latency",
+        point=_latency_point,
+        row_type=Fig17Row,
+        grid=[{"system": row.system, "acl_rules": row.acl_rules,
+               "packet_size": row.packet_size,
+               "capacity_gbps": row.capacity_gbps,
+               "shared_load": fixed_load[row.packet_size]}
+              for row in capacities],
+        params={"batch_size": batch_size,
+                "batch_count": 50 if quick else 150},
+        context=common.sweep_context(),
+    )
+
+
 def run(quick: bool = True,
         acl_sizes: Sequence[int] = ACL_SIZES,
         packet_sizes: Sequence[int] = PACKET_SIZES,
-        batch_size: int = 64) -> List[Fig17Row]:
-    """Measure all systems.
+        batch_size: int = 64, jobs: int = 1,
+        runner=None) -> List[Fig17Row]:
+    """Measure all systems in two phases (capacity, then latency).
 
-    Latency is compared at a *common* offered load per (ACL, packet
-    size) cell — 80 % of the slowest system's capacity — matching the
+    Latency is compared at a *common* offered load per packet size —
+    80 % of the slowest system's smallest-ACL capacity — matching the
     paper's fixed-offered-load methodology.
     """
-    platform = common.make_engine().platform
-    engine = common.make_engine(platform)
-    batch_count = 50 if quick else 150
-    rows: List[Fig17Row] = []
-    # The offered load is fixed per packet size at the smallest-ACL
-    # operating point (80 % of the slowest system's ACL-200 capacity)
-    # and kept constant as the ACL grows — exactly the paper's
-    # methodology, where the same traffic drives every ACL size.  A
-    # system whose capacity collapses below the offered load overloads
-    # and its latency explodes (FastClick's "order of magnitude" at
-    # ACL 10000).
-    fixed_load: Dict[int, float] = {}
-    for acl_rules in sorted(acl_sizes):
-        for packet_size in packet_sizes:
-            spec = TrafficSpec(size_law=FixedSize(packet_size),
-                               offered_gbps=40.0)
-            staged = []
-            for system in SYSTEMS:
-                tag = f"{system}-{acl_rules}-{packet_size}"
-                if system == "fastclick":
-                    sfc = _make_sfc(acl_rules, "tree", tag)
-                    deployment = FastClickBaseline(
-                        platform=platform
-                    ).deploy(sfc, spec, batch_size=batch_size)
-                elif system == "nba":
-                    sfc = _make_sfc(acl_rules, "tree", tag)
-                    deployment = NBABaseline(
-                        platform=platform
-                    ).deploy(sfc, spec, batch_size=batch_size)
-                else:
-                    sfc = _make_sfc(acl_rules, "tuple_space", tag)
-                    compass = NFCompass(platform=platform)
-                    plan = compass.deploy(sfc, spec,
-                                          batch_size=batch_size)
-                    deployment = plan.deployment
-                session = engine.session(deployment)
-                capacity = session.run(
-                    common.saturated(spec),
-                    batch_size=batch_size, batch_count=batch_count,
-                ).throughput_gbps
-                staged.append((system, session, capacity))
-            if packet_size not in fixed_load:
-                fixed_load[packet_size] = 0.8 * min(
-                    capacity for _s, _d, capacity in staged
-                )
-            shared_load = fixed_load[packet_size]
-            for system, session, capacity in staged:
-                latency_report = session.run(
-                    common.at_load(spec, max(0.05, shared_load)),
-                    batch_size=batch_size, batch_count=batch_count,
-                )
-                rows.append(Fig17Row(
-                    system=system,
-                    acl_rules=acl_rules,
-                    packet_size=packet_size,
-                    throughput_gbps=capacity,
-                    latency_ms=latency_report.latency.mean_ms,
-                    latency_std_us=(latency_report.latency.variance
-                                    ** 0.5 * 1e6),
-                ))
-    return rows
+    capacities = common.run_sweep(
+        capacity_sweep_spec(quick=quick, acl_sizes=acl_sizes,
+                            packet_sizes=packet_sizes,
+                            batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
+    return common.run_sweep(
+        latency_sweep_spec(capacities, quick=quick,
+                           batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
 
 
 def throughput_retention(rows: List[Fig17Row],
@@ -176,9 +254,9 @@ def latency_advantage(rows: List[Fig17Row]) -> Dict[Tuple[int, int],
     return advantage
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the Fig. 17 table and throughput-retention notes."""
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["system", "ACL", "pkt", "Gbps", "latency ms", "lat std us"],
         [[r.system, r.acl_rules, r.packet_size, r.throughput_gbps,

@@ -39,59 +39,133 @@ class LoadLatencyRow:
     latency_p99_ms: float
 
 
+@dataclass
+class CapacityRow:
+    """Phase-1 row: one system's measured capacity."""
+
+    system: str
+    capacity_gbps: float
+
+
+def _prepare(system: str, nf_types: Sequence[str], packet_size: int,
+             batch_size: int):
+    """Build (spec, profile, session) for one system's deployment."""
+    engine = common.make_engine()
+    spec = TrafficSpec(size_law=FixedSize(packet_size),
+                       offered_gbps=40.0, seed=5)
+    sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
+    if system == "nfcompass":
+        compass = NFCompass(platform=engine.platform)
+        deployment = compass.deploy(sfc, spec,
+                                    batch_size=batch_size).deployment
+    else:
+        baseline = FastClickBaseline(platform=engine.platform)
+        deployment = baseline.deploy(sfc, spec, batch_size=batch_size)
+    profile = BranchProfile.measure(
+        deployment.graph.clone(), spec, sample_packets=256,
+        batch_size=batch_size,
+    )
+    return spec, profile, engine.session(deployment)
+
+
+def _capacity_point(system: str, nf_types: Sequence[str],
+                    packet_size: int, batch_size: int,
+                    batch_count: int) -> List[CapacityRow]:
+    """Phase-1 point: one system's capacity."""
+    spec, profile, session = _prepare(system, nf_types, packet_size,
+                                      batch_size)
+    capacity = session.measure_capacity(
+        spec, batch_size=batch_size,
+        batch_count=batch_count, branch_profile=profile,
+    )
+    return [CapacityRow(system=system, capacity_gbps=capacity)]
+
+
+def _latency_point(system: str, load_fraction: float,
+                   capacity_gbps: float, nf_types: Sequence[str],
+                   packet_size: int, batch_size: int,
+                   batch_count: int) -> List[LoadLatencyRow]:
+    """Phase-2 point: one system at one fraction of its capacity."""
+    spec, profile, session = _prepare(system, nf_types, packet_size,
+                                      batch_size)
+    loaded = common.at_load(spec,
+                            max(0.02, capacity_gbps * load_fraction))
+    report = session.run(loaded,
+                         batch_size=batch_size,
+                         batch_count=batch_count,
+                         branch_profile=profile)
+    return [LoadLatencyRow(
+        system=system,
+        load_fraction=load_fraction,
+        offered_gbps=loaded.offered_gbps,
+        latency_ms=report.latency.mean_ms,
+        latency_p99_ms=report.latency.p99 * 1e3,
+    )]
+
+
+def capacity_sweep_spec(quick: bool = True,
+                        nf_types: Sequence[str] = ("firewall", "ids"),
+                        packet_size: int = 256,
+                        batch_size: int = 64) -> common.SweepSpec:
+    """Phase 1: both systems' capacities."""
+    return common.SweepSpec(
+        name="load_latency.capacity",
+        point=_capacity_point,
+        row_type=CapacityRow,
+        grid=[{"system": system}
+              for system in ("nfcompass", "fastclick")],
+        params={"nf_types": tuple(nf_types),
+                "packet_size": packet_size,
+                "batch_size": batch_size,
+                "batch_count": 60 if quick else 200},
+        context=common.sweep_context(),
+    )
+
+
+def latency_sweep_spec(capacities: List[CapacityRow],
+                       quick: bool = True,
+                       nf_types: Sequence[str] = ("firewall", "ids"),
+                       packet_size: int = 256,
+                       batch_size: int = 64,
+                       fractions: Sequence[float] = LOAD_FRACTIONS
+                       ) -> common.SweepSpec:
+    """Phase 2: the load sweep at fractions of measured capacity."""
+    return common.SweepSpec(
+        name="load_latency.sweep",
+        point=_latency_point,
+        row_type=LoadLatencyRow,
+        grid=[{"system": row.system,
+               "capacity_gbps": row.capacity_gbps,
+               "load_fraction": fraction}
+              for row in capacities
+              for fraction in fractions],
+        params={"nf_types": tuple(nf_types),
+                "packet_size": packet_size,
+                "batch_size": batch_size,
+                "batch_count": 60 if quick else 200},
+        context=common.sweep_context(),
+    )
+
+
 def run(quick: bool = True,
         nf_types: Sequence[str] = ("firewall", "ids"),
         packet_size: int = 256,
         batch_size: int = 64,
-        fractions: Sequence[float] = LOAD_FRACTIONS
-        ) -> List[LoadLatencyRow]:
+        fractions: Sequence[float] = LOAD_FRACTIONS,
+        jobs: int = 1, runner=None) -> List[LoadLatencyRow]:
     """Sweep offered load for both systems; returns one row per point."""
-    engine = common.make_engine()
-    batch_count = 60 if quick else 200
-    spec = TrafficSpec(size_law=FixedSize(packet_size),
-                       offered_gbps=40.0, seed=5)
-    rows: List[LoadLatencyRow] = []
-
-    systems = []
-    compass = NFCompass(platform=engine.platform)
-    plan = compass.deploy(
-        ServiceFunctionChain([make_nf(t) for t in nf_types]),
-        spec, batch_size=batch_size,
+    capacities = common.run_sweep(
+        capacity_sweep_spec(quick=quick, nf_types=nf_types,
+                            packet_size=packet_size,
+                            batch_size=batch_size),
+        jobs=jobs, runner=runner,
     )
-    systems.append(("nfcompass", plan.deployment))
-    baseline = FastClickBaseline(platform=engine.platform)
-    systems.append(("fastclick", baseline.deploy(
-        ServiceFunctionChain([make_nf(t) for t in nf_types]),
-        spec, batch_size=batch_size,
-    )))
-
-    for system, deployment in systems:
-        profile = BranchProfile.measure(
-            deployment.graph.clone(), spec, sample_packets=256,
-            batch_size=batch_size,
-        )
-        # One session per system: validation and graph analysis happen
-        # once, then every load point reuses the cached invariants.
-        session = engine.session(deployment)
-        capacity = session.measure_capacity(
-            spec, batch_size=batch_size,
-            batch_count=batch_count, branch_profile=profile,
-        )
-        for fraction in fractions:
-            loaded = common.at_load(spec,
-                                    max(0.02, capacity * fraction))
-            report = session.run(loaded,
-                                 batch_size=batch_size,
-                                 batch_count=batch_count,
-                                 branch_profile=profile)
-            rows.append(LoadLatencyRow(
-                system=system,
-                load_fraction=fraction,
-                offered_gbps=loaded.offered_gbps,
-                latency_ms=report.latency.mean_ms,
-                latency_p99_ms=report.latency.p99 * 1e3,
-            ))
-    return rows
+    return common.run_sweep(
+        latency_sweep_spec(capacities, quick=quick, nf_types=nf_types,
+                           packet_size=packet_size,
+                           batch_size=batch_size, fractions=fractions),
+        jobs=jobs, runner=runner,
+    )
 
 
 def knee_sharpness(rows: List[LoadLatencyRow], system: str) -> float:
@@ -105,10 +179,10 @@ def knee_sharpness(rows: List[LoadLatencyRow], system: str) -> float:
     return high.latency_ms / low.latency_ms
 
 
-def main(quick: bool = True) -> str:
+def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     """Render the load sweep table, ASCII curves, and knee factors."""
     from repro.experiments.plots import line_plot
-    rows = run(quick=quick)
+    rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
         ["system", "load", "offered Gbps", "latency ms", "p99 ms"],
         [[r.system, f"{r.load_fraction:.0%}", r.offered_gbps,

@@ -1,0 +1,98 @@
+"""Content-addressed result cache for sweep points.
+
+Entries are keyed by the point fingerprint
+(:mod:`repro.runner.fingerprint`) and hold the point's result rows as
+plain dicts — the same wire format worker processes return — so a
+cache hit and a fresh computation are indistinguishable to the caller.
+
+Two storage layers:
+
+- an in-memory dict, always on, scoped to the cache object;
+- an optional on-disk directory (one JSON file per key) so repeated
+  ``repro experiments run`` invocations skip already-computed points.
+
+Hit/miss counts accumulate on the cache and are mirrored into the
+active trace's :class:`~repro.obs.metrics.MetricsRegistry` by the
+runner (``runner.cache.hits`` / ``runner.cache.misses``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: On-disk entry format version; bump on layout changes.
+CACHE_FORMAT_VERSION = 1
+
+Rows = List[Dict[str, object]]
+
+
+class ResultCache:
+    """Fingerprint-keyed store of sweep-point result rows."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self._memory: Dict[str, Rows] = {}
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    # -- storage -------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Rows]:
+        """The stored rows for ``key``, or None (counts hit/miss)."""
+        rows = self._memory.get(key)
+        if rows is None and self.directory is not None:
+            rows = self._read_disk(key)
+            if rows is not None:
+                self._memory[key] = rows
+        if rows is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [dict(row) for row in rows]
+
+    def put(self, key: str, rows: Rows) -> None:
+        """Store the rows computed for ``key``."""
+        rows = [dict(row) for row in rows]
+        self._memory[key] = rows
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {"version": CACHE_FORMAT_VERSION, "key": key,
+                       "rows": rows}
+            tmp = self._path(key).with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload) + "\n")
+            tmp.replace(self._path(key))
+
+    def _read_disk(self, key: str) -> Optional[Rows]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("version") != CACHE_FORMAT_VERSION \
+                or payload.get("key") != key \
+                or not isinstance(payload.get("rows"), list):
+            return None
+        return payload["rows"]
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return (self.directory is not None
+                and self._read_disk(key) is not None)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        self._memory.clear()
+
+
+__all__ = ["CACHE_FORMAT_VERSION", "ResultCache"]

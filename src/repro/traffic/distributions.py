@@ -101,6 +101,12 @@ class EmpiricalSize(SizeDistribution):
     def mean(self) -> float:
         return sum(w * s for w, s in zip(self._weights, self._sizes))
 
+    def __fingerprint__(self):
+        """Canonical identity for sweep-result caching: the normalized
+        (weight, size) mixture fully determines sampling behavior."""
+        return [(weight, size) for weight, size
+                in zip(self._weights, self._sizes)]
+
 
 class IMIXSize(EmpiricalSize):
     """The Intel IMIX packet mix used in the Fig. 15 evaluation."""

@@ -1,0 +1,56 @@
+"""Parallel-determinism conformance tests.
+
+The runner's core promise: ``--jobs N`` must be *observably
+indistinguishable* from serial execution — same row values, same row
+order — for any N.  Two representative experiments cover both shapes
+of sweep: fig06 (single-phase, one engine per point) and fig08
+(nested grid, enum-valued parameters).
+
+These tests compare full dataclass rows with ``==``; exact float
+equality is intentional, because serial and parallel runs share the
+same per-point code path and any drift means hidden cross-point state.
+"""
+
+from repro.experiments import fig06_offload_ratio as fig06
+from repro.experiments import fig08_characterization as fig08
+
+FIG06_KWARGS = dict(quick=True, nf_types=("ipv4", "ipsec"),
+                    ratios=(0.0, 0.5, 1.0))
+FIG08_KWARGS = dict(quick=True, nf_types=("ipsec",),
+                    batch_sizes=(32, 128))
+
+
+class TestFig06Determinism:
+    def test_parallel_equals_serial(self):
+        serial = fig06.run(**FIG06_KWARGS)
+        parallel = fig06.run(jobs=4, **FIG06_KWARGS)
+        assert serial == parallel
+
+    def test_worker_count_irrelevant(self):
+        assert fig06.run(jobs=2, **FIG06_KWARGS) == \
+            fig06.run(jobs=4, **FIG06_KWARGS)
+
+    def test_row_order_is_grid_order(self):
+        rows = fig06.run(jobs=4, **FIG06_KWARGS)
+        assert [(r.nf_type, r.offload_ratio) for r in rows] == [
+            (nf, ratio)
+            for nf in ("ipv4", "ipsec")
+            for ratio in (0.0, 0.5, 1.0)
+        ]
+
+
+class TestFig08Determinism:
+    def test_parallel_equals_serial(self):
+        serial = fig08.run_batch_sweep(**FIG08_KWARGS)
+        parallel = fig08.run_batch_sweep(jobs=4, **FIG08_KWARGS)
+        assert serial == parallel
+
+    def test_worker_count_irrelevant(self):
+        assert fig08.run_batch_sweep(jobs=4, **FIG08_KWARGS) == \
+            fig08.run_batch_sweep(jobs=3, **FIG08_KWARGS)
+
+    def test_row_order_is_grid_order(self):
+        rows = fig08.run_batch_sweep(jobs=4, **FIG08_KWARGS)
+        assert [(r.platform, r.batch_size) for r in rows] == [
+            ("cpu", 32), ("cpu", 128), ("gpu", 32), ("gpu", 128),
+        ]

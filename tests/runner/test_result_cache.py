@@ -1,0 +1,88 @@
+"""Result cache unit tests."""
+
+import json
+
+from repro.runner import CACHE_FORMAT_VERSION, ResultCache
+
+ROWS = [{"nf": "ipsec", "gbps": 12.5}, {"nf": "ids", "gbps": 3.25}]
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", ROWS)
+        assert cache.get("k") == ROWS
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_returned_rows_are_copies(self):
+        cache = ResultCache()
+        cache.put("k", ROWS)
+        got = cache.get("k")
+        got[0]["gbps"] = -1.0
+        assert cache.get("k")[0]["gbps"] == 12.5
+
+    def test_len_and_contains(self):
+        cache = ResultCache()
+        assert len(cache) == 0
+        assert "k" not in cache
+        cache.put("k", ROWS)
+        assert len(cache) == 1
+        assert "k" in cache
+
+    def test_clear_drops_memory(self):
+        cache = ResultCache()
+        cache.put("k", ROWS)
+        cache.clear()
+        assert cache.get("k") is None
+
+
+class TestDiskLayer:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("k", ROWS)
+        second = ResultCache(tmp_path)
+        assert second.get("k") == ROWS
+        assert second.hits == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", ROWS)
+        cache.clear()
+        assert cache.get("k") == ROWS
+
+    def test_directory_created_lazily(self, tmp_path):
+        target = tmp_path / "sub" / "cache"
+        cache = ResultCache(target)
+        assert not target.exists()
+        assert cache.get("k") is None
+        assert not target.exists()
+        cache.put("k", ROWS)
+        assert target.exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "k.json").write_text("{not json")
+        assert cache.get("k") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "k.json").write_text(json.dumps({
+            "version": CACHE_FORMAT_VERSION + 1, "key": "k",
+            "rows": ROWS,
+        }))
+        assert cache.get("k") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "k.json").write_text(json.dumps({
+            "version": CACHE_FORMAT_VERSION, "key": "other",
+            "rows": ROWS,
+        }))
+        assert cache.get("k") is None
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", ROWS)
+        assert [p.name for p in tmp_path.iterdir()] == ["k.json"]

@@ -8,6 +8,7 @@ deprecation path), not an accident.
 
 import repro
 import repro.obs
+import repro.runner
 import repro.sim
 
 REPRO_ALL = [
@@ -21,14 +22,35 @@ REPRO_ALL = [
     "NF_CATALOG",
     "PlatformSpec",
     "ProfileConfig",
+    "ResultCache",
     "SFCOrchestrator",
     "SimulationEngine",
     "SimulationSession",
+    "SweepRunner",
+    "SweepSpec",
     "ThroughputLatencyReport",
     "Trace",
+    "deployment_fingerprint",
     "make_nf",
+    "run_sweep",
     "use_trace",
     "__version__",
+]
+
+RUNNER_ALL = [
+    "CACHE_FORMAT_VERSION",
+    "ENGINE_VERSION",
+    "FingerprintError",
+    "ResultCache",
+    "SHARDS_PER_JOB",
+    "SweepRunner",
+    "SweepSpec",
+    "canonical_fingerprint",
+    "canonical_form",
+    "deployment_fingerprint",
+    "encode_rows",
+    "run_sweep",
+    "shard_indices",
 ]
 
 SIM_ALL = [
@@ -77,6 +99,9 @@ class TestSnapshots:
     def test_obs_all(self):
         assert sorted(repro.obs.__all__) == sorted(OBS_ALL)
 
+    def test_runner_all(self):
+        assert sorted(repro.runner.__all__) == sorted(RUNNER_ALL)
+
 
 class TestResolvable:
     def test_repro_names_resolve(self):
@@ -90,6 +115,10 @@ class TestResolvable:
     def test_obs_names_resolve(self):
         for name in repro.obs.__all__:
             assert getattr(repro.obs, name) is not None, name
+
+    def test_runner_names_resolve(self):
+        for name in repro.runner.__all__:
+            assert getattr(repro.runner, name) is not None, name
 
     def test_version_is_a_dotted_string(self):
         parts = repro.__version__.split(".")

@@ -35,6 +35,21 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["experiments", "run", "fig99"])
 
+    def test_experiments_run_parallel_no_cache(self, capsys):
+        assert main(["experiments", "run", "fig05",
+                     "--jobs", "2", "--no-cache"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_experiments_run_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["experiments", "run", "fig05",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("*.json")), "no cached results"
+        assert main(argv) == 0          # warm run, served from disk
+        assert capsys.readouterr().out == first
+
     def test_deploy(self, capsys):
         code = main(["deploy", "-c", "firewall,lb",
                      "--packet-size", "128", "--batches", "30"])
