@@ -34,6 +34,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.orchestrator import SFCOrchestrator  # noqa: E402
 from repro.elements.offload import OffloadableElement  # noqa: E402
+from repro.hw import DEFAULT_HOST_DEVICE  # noqa: E402
+from repro.hw.costs import CostModel  # noqa: E402
+from repro.hw.platform import PlatformSpec  # noqa: E402
 from repro.nf.base import ServiceFunctionChain  # noqa: E402
 from repro.nf.catalog import make_nf  # noqa: E402
 from repro.obs import Trace  # noqa: E402
@@ -74,7 +77,7 @@ def small_scenario():
         [make_nf(t) for t in ("firewall", "ids")]
     ).concatenated_graph()
     mapping = Mapping.fixed_ratio(graph, 0.5,
-                                  cores=["cpu0", "cpu1", "cpu2"],
+                                  cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"],
                                   gpus=["gpu0"])
     deployment = Deployment(graph, mapping, persistent_kernel=True,
                             name="bench-small")
@@ -208,6 +211,64 @@ def run_scenario(name, factory):
     return row
 
 
+def device_scaling_row(device_count):
+    """Kernel cost of an N-device placement (non-gating, recorded).
+
+    2 devices is the paper's CPU+GPU pair; 3 adds the data-defined
+    SmartNIC, exercising the share-vector service path (extra offload
+    leg + ``nicdma`` DMA lanes per offloaded node).  Only the event
+    kernel runs here — the frozen legacy engine is binary-only.
+    """
+    spec = TrafficSpec(size_law=FixedSize(256), offered_gbps=80.0,
+                       seed=23)
+    platform = PlatformSpec.small()
+    if device_count >= 3:
+        platform = platform.with_smartnic()
+    engine = SimulationEngine(platform, CostModel(platform))
+    graph = ServiceFunctionChain(
+        [make_nf(t) for t in ("firewall", "ids", "ipsec", "dpi")]
+    ).concatenated_graph()
+    placements = {}
+    core_index = 0
+    for node in graph.topological_order():
+        element = graph.element(node)
+        core = f"cpu{core_index % 4}"
+        core_index += 1
+        if isinstance(element, OffloadableElement) and element.offloadable:
+            if device_count >= 3:
+                shares = {core: 0.4, "gpu0": 0.4, "nic0": 0.2}
+            else:
+                shares = {core: 0.4, "gpu0": 0.6}
+            placements[node] = Placement(shares=shares, host=core)
+        else:
+            placements[node] = Placement(cpu_processor=core)
+    deployment = Deployment(graph, Mapping(placements),
+                            persistent_kernel=True,
+                            name=f"bench-devices-{device_count}")
+    profile = BranchProfile.measure(graph.clone(), spec,
+                                    sample_packets=256, batch_size=64)
+    kwargs = dict(batch_size=64, batch_count=1000,
+                  branch_profile=profile)
+    session = engine.session(deployment)
+    session.run(spec, **dict(kwargs, batch_count=50))  # warm
+    t0 = time.perf_counter()
+    report = session.run(spec, **kwargs)
+    seconds = time.perf_counter() - t0
+    row = {
+        "devices": device_count,
+        "nodes": len(deployment.graph.topological_order()),
+        "batch_count": kwargs["batch_count"],
+        "kernel_seconds": round(seconds, 6),
+        "throughput_gbps": round(report.throughput_gbps, 4),
+        "resources": len(report.processor_busy_seconds),
+    }
+    print(f"devices={device_count} nodes={row['nodes']:3d} "
+          f"kernel={seconds:8.3f}s "
+          f"throughput={row['throughput_gbps']:7.3f} Gbps "
+          f"resources={row['resources']}")
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -219,12 +280,15 @@ def main(argv=None):
 
     scenarios = SCENARIOS[:1] if args.quick else SCENARIOS
     rows = [run_scenario(name, factory) for name, factory in scenarios]
+    device_rows = [device_scaling_row(2), device_scaling_row(3)]
 
     report = {
         "benchmark": "engine kernel vs legacy loop",
         "python": sys.version.split()[0],
         "quick": args.quick,
         "scenarios": rows,
+        #: Non-gating: share-vector placement cost at 2 vs 3 devices.
+        "device_scaling": device_rows,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement

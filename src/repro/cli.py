@@ -8,6 +8,8 @@ Entry points::
     repro experiments run fig06        # regenerate one figure
     repro deploy -c firewall,ids,lb    # NFCompass a chain and simulate
     repro deploy -c ids,nat --trace out.ndjson  # ... and trace it
+    repro platform show                # registered devices (Table I)
+    repro platform show --smartnic     # ... plus a SmartNIC offload
     repro trace out.ndjson             # per-stage wall-time summary
     repro validate --chains 25 --seed 0  # differential + oracle checks
     repro config run my.click          # parse + simulate a Click config
@@ -98,6 +100,24 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--trace", metavar="PATH", default=None,
                         help="write an NDJSON observability trace of "
                              "the deployment pipeline to PATH")
+
+    platform = subparsers.add_parser(
+        "platform", help="inspect the modeled server platform"
+    )
+    platform_sub = platform.add_subparsers(dest="platform_command",
+                                           required=True)
+    platform_show = platform_sub.add_parser(
+        "show", help="print the platform's device inventory"
+    )
+    platform_show.add_argument("--sockets", type=int, default=None,
+                               help="CPU sockets (default: Table I)")
+    platform_show.add_argument("--gpus", type=int, default=None,
+                               help="discrete GPUs (default: Table I)")
+    platform_show.add_argument("--smartnic", action="store_true",
+                               help="add a data-defined SmartNIC "
+                                    "offload engine")
+    platform_show.add_argument("--kinds", action="store_true",
+                               help="also list registered device kinds")
 
     trace = subparsers.add_parser(
         "trace", help="summarize an NDJSON trace written by --trace"
@@ -262,6 +282,36 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_platform_show(args) -> int:
+    from dataclasses import replace
+
+    from repro.hw.device import device_kind_defaults, device_kinds
+    from repro.hw.platform import PlatformSpec
+
+    platform = PlatformSpec.paper_testbed()
+    overrides = {}
+    if args.sockets is not None:
+        overrides["sockets"] = args.sockets
+    if args.gpus is not None:
+        overrides["gpus"] = args.gpus
+    if overrides:
+        platform = replace(platform, **overrides)
+    if args.smartnic:
+        platform = platform.with_smartnic()
+    print(f"platform: {platform.sockets} socket(s) x "
+          f"{platform.cpu.cores} cores, {platform.gpus} GPU(s), "
+          f"{len(platform.extra_devices)} extra device(s)")
+    print(platform.describe_devices())
+    if args.kinds:
+        print("\nregistered device kinds:")
+        for kind in device_kinds():
+            fields = device_kind_defaults(kind)
+            print(f"  {kind}: "
+                  + (", ".join(f"{k}={v}" for k, v in sorted(
+                      fields.items())) or "(host defaults)"))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import Trace, format_trace_summary
 
@@ -421,6 +471,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                     cache_dir=args.cache_dir)
     if args.command == "deploy":
         return _cmd_deploy(args)
+    if args.command == "platform":
+        return _cmd_platform_show(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "validate":

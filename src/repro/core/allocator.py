@@ -18,14 +18,17 @@ The allocator glues the pipeline together:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.expansion import ExpandedGraph, expand_graph
 from repro.core.partition import (
+    HOST_GROUP,
     PartitionResult,
     agglomerative_partition,
     kernighan_lin_partition,
+    multiway_agglomerative_partition,
+    multiway_kl_partition,
 )
 from repro.core.profiler import node_traffic_shares
 from repro.elements.graph import ElementGraph
@@ -51,6 +54,10 @@ class AllocationReport:
     #: validation oracle in :mod:`repro.validate` can recompute the
     #: objective and audit the partition invariants).
     expanded: Optional[ExpandedGraph] = None
+    #: Multiway allocations: node -> device group -> batch fraction
+    #: (``None`` on the binary CPU/GPU path, where ``offload_ratios``
+    #: carries the same information).
+    device_shares: Optional[Dict[str, Dict[str, float]]] = None
 
     def summary(self) -> str:
         offloaded = {n: r for n, r in self.offload_ratios.items() if r > 0}
@@ -84,6 +91,15 @@ class GraphTaskAllocator:
         )
         self.gpus = gpus or self.platform.gpu_processor_ids()
         self.persistent_kernel = persistent_kernel
+        # Offload device groups (kind -> instance ids).  Platforms
+        # whose only offload devices are the built-in GPUs take the
+        # specialized binary CPU/GPU path; anything else (data-defined
+        # extra devices) goes through the multiway partitioners.
+        self.offload_devices: Dict[str, List[str]] = \
+            self.platform.offload_device_groups()
+        if gpus is not None:
+            self.offload_devices["gpu"] = list(gpus)
+        self.multiway = set(self.offload_devices) not in ({"gpu"}, set())
 
     # ------------------------------------------------------------------
     def allocate(self, graph: ElementGraph, spec: TrafficSpec,
@@ -113,7 +129,10 @@ class GraphTaskAllocator:
 
             with trace.span("partition",
                             algorithm=self.algorithm) as span:
-                if self.algorithm == "kl":
+                if self.multiway:
+                    partition = self._partition_multiway(expanded,
+                                                         trace=trace)
+                elif self.algorithm == "kl":
                     partition = kernighan_lin_partition(
                         expanded.pgraph, cpu_cores=len(self.cpu_cores),
                         gpu_units=len(self.gpus), trace=trace,
@@ -128,10 +147,26 @@ class GraphTaskAllocator:
                          gpu_instances=len(partition.gpu_nodes))
 
             with trace.span("lower"):
-                ratios = self._collapse_ratios(graph, expanded, partition)
-                mapping, core_assignment, core_loads = self._lower(
-                    graph, spec, batch_size, shares, ratios
-                )
+                device_shares = None
+                if self.multiway:
+                    device_shares = self._collapse_device_shares(
+                        graph, expanded, partition
+                    )
+                    ratios = {
+                        node_id: sum(fraction for group, fraction
+                                     in node_shares.items()
+                                     if group != HOST_GROUP)
+                        for node_id, node_shares in device_shares.items()
+                    }
+                    mapping, core_assignment, core_loads = \
+                        self._lower_multiway(graph, spec, batch_size,
+                                             shares, device_shares)
+                else:
+                    ratios = self._collapse_ratios(graph, expanded,
+                                                   partition)
+                    mapping, core_assignment, core_loads = self._lower(
+                        graph, spec, batch_size, shares, ratios
+                    )
             alloc_span.set(
                 offloaded=sum(1 for r in ratios.values() if r > 0)
             )
@@ -142,6 +177,7 @@ class GraphTaskAllocator:
             cpu_core_loads=core_loads,
             node_shares=shares,
             expanded=expanded,
+            device_shares=device_shares,
         )
         return mapping, report
 
@@ -197,6 +233,102 @@ class GraphTaskAllocator:
         )
         for u, v, data in pgraph.edges(data=True):
             data["weight"] = data.get("share", 0.0) * full_transfer
+        if self.multiway:
+            self._attach_group_times(expanded, spec, batch_size, shares,
+                                     full_transfer)
+
+    def _attach_group_times(self, expanded: ExpandedGraph,
+                            spec: TrafficSpec, batch_size: int,
+                            shares: Dict[str, float],
+                            full_transfer: float) -> None:
+        """Multiway node weights: per-device-group service times.
+
+        Each offload group is weighted through its representative
+        device's cost hooks (``device_batch_timing``); groups whose
+        device does not support an element are omitted, which the
+        partitioners read as +inf.  Per-group link-cost scale factors
+        (relative to the PCIe-based edge weights) land on the graph's
+        ``link_costs`` attribute.
+        """
+        mean_bytes = spec.size_law.mean()
+        pgraph = expanded.pgraph
+        group_devices = {
+            group: self.cost.device_for(ids[0])
+            for group, ids in self.offload_devices.items() if ids
+        }
+        node_group_times: Dict[str, Dict[str, float]] = {}
+        for node_id in expanded.original.nodes:
+            element = expanded.original.element(node_id)
+            times: Dict[str, float] = {}
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable):
+                stats = BatchStats(
+                    batch_size=batch_size,
+                    mean_packet_bytes=mean_bytes,
+                    match_profile=spec.match_profile,
+                )
+                for group, device in group_devices.items():
+                    if not device.supports(element.kind):
+                        continue
+                    timing = self.cost.device_batch_timing(
+                        element, stats, device,
+                        persistent_kernel=self.persistent_kernel,
+                    )
+                    times[group] = timing.launch + timing.kernel
+            node_group_times[node_id] = times
+        for instance_id, instance in expanded.instances.items():
+            node_id = instance.original_node
+            node_share = shares.get(node_id, 1.0)
+            attrs = pgraph.nodes[instance_id]
+            group_times = {HOST_GROUP: attrs["cpu_time"]}
+            for group, full in node_group_times[node_id].items():
+                group_times[group] = full * instance.share * node_share
+            attrs["group_times"] = group_times
+        link_costs: Dict[str, float] = {}
+        for group, device in group_devices.items():
+            if device.link is None or full_transfer <= 0:
+                link_costs[group] = 1.0
+                continue
+            link_costs[group] = device.link.transfer_seconds(
+                batch_size * mean_bytes, packet_count=batch_size
+            ) / full_transfer
+        pgraph.graph["link_costs"] = link_costs
+
+    def _partition_multiway(self, expanded: ExpandedGraph,
+                            trace=None) -> PartitionResult:
+        groups = [HOST_GROUP] + list(self.offload_devices)
+        capacities = {HOST_GROUP: len(self.cpu_cores)}
+        capacities.update({group: len(ids) for group, ids
+                           in self.offload_devices.items()})
+        link_costs = expanded.pgraph.graph.get("link_costs", {})
+        partition_fn = (multiway_kl_partition if self.algorithm == "kl"
+                        else multiway_agglomerative_partition)
+        return partition_fn(expanded.pgraph, groups,
+                            capacities=capacities,
+                            link_costs=link_costs, trace=trace)
+
+    @staticmethod
+    def _collapse_device_shares(graph: ElementGraph,
+                                expanded: ExpandedGraph,
+                                partition: PartitionResult
+                                ) -> Dict[str, Dict[str, float]]:
+        """Per-node offload-group slice fractions (multiway lowering)."""
+        offload_groups = {
+            group: nodes
+            for group, nodes in partition.device_groups().items()
+            if group != HOST_GROUP
+        }
+        device_shares: Dict[str, Dict[str, float]] = {}
+        for node_id in graph.nodes:
+            element = graph.element(node_id)
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable):
+                device_shares[node_id] = expanded.group_shares(
+                    node_id, offload_groups
+                )
+            else:
+                device_shares[node_id] = {}
+        return device_shares
 
     @staticmethod
     def _collapse_ratios(graph: ElementGraph, expanded: ExpandedGraph,
@@ -255,4 +387,58 @@ class GraphTaskAllocator:
                 gpu_processor=gpu_processor,
                 offload_ratio=ratio,
             )
+        return Mapping(placements), core_assignment, core_loads
+
+    def _lower_multiway(self, graph: ElementGraph, spec: TrafficSpec,
+                        batch_size: int, shares: Dict[str, float],
+                        device_shares: Dict[str, Dict[str, float]]
+                        ) -> Tuple[Mapping, Dict[str, str],
+                                   Dict[str, float]]:
+        """Lower multiway group shares into share-vector placements.
+
+        Host-side work is LPT-packed onto cores exactly as on the
+        binary path; each offload group round-robins its device
+        instances independently.
+        """
+        mean_bytes = spec.size_law.mean()
+        cpu_work: List[Tuple[float, str]] = []
+        for node_id in graph.nodes:
+            element = graph.element(node_id)
+            host_fraction = 1.0 - sum(device_shares[node_id].values())
+            if host_fraction <= 0:
+                cpu_work.append((0.0, node_id))
+                continue
+            stats = BatchStats(
+                batch_size=max(1, round(batch_size * host_fraction)),
+                mean_packet_bytes=mean_bytes,
+                match_profile=spec.match_profile,
+            )
+            load = self.cost.cpu_batch_seconds(element, stats) \
+                * shares.get(node_id, 1.0)
+            cpu_work.append((load, node_id))
+
+        core_loads: Dict[str, float] = {core: 0.0
+                                        for core in self.cpu_cores}
+        core_assignment: Dict[str, str] = {}
+        for load, node_id in sorted(cpu_work, reverse=True):
+            lightest = min(core_loads, key=core_loads.get)
+            core_assignment[node_id] = lightest
+            core_loads[lightest] += load
+
+        placements: Dict[str, Placement] = {}
+        cursors: Dict[str, int] = {group: 0
+                                   for group in self.offload_devices}
+        for node_id in graph.nodes:
+            core = core_assignment[node_id]
+            group_fractions = device_shares[node_id]
+            host_fraction = 1.0 - sum(group_fractions.values())
+            vector: Dict[str, float] = {}
+            if host_fraction > 1e-9:
+                vector[core] = host_fraction
+            for group, fraction in group_fractions.items():
+                instances = self.offload_devices[group]
+                device_id = instances[cursors[group] % len(instances)]
+                cursors[group] += 1
+                vector[device_id] = vector.get(device_id, 0.0) + fraction
+            placements[node_id] = Placement(shares=vector, host=core)
         return Mapping(placements), core_assignment, core_loads

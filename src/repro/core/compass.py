@@ -27,7 +27,7 @@ from repro.core.synthesizer import NFSynthesizer, SynthesisReport
 from repro.elements.graph import ElementGraph
 from repro.hw.costs import CostModel
 from repro.hw.platform import PlatformSpec
-from repro.nf.base import NetworkFunction, ServiceFunctionChain
+from repro.nf.base import ServiceFunctionChain
 from repro.obs import NULL_TRACE, Trace, resolve_trace
 from repro.sim.engine import BranchProfile, SimulationEngine
 from repro.sim.kernel import SimulationSession

@@ -13,7 +13,7 @@ to the CPU side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import networkx as nx
@@ -59,6 +59,25 @@ class ExpandedGraph:
             return 0.0
         on_gpu = sum(1 for s in slices if s in gpu_instances)
         return on_gpu / len(slices)
+
+    def group_shares(self, node_id: str,
+                     groups: "Dict[str, set]") -> "Dict[str, float]":
+        """Per-device-group fraction of ``node_id``'s slices.
+
+        The multiway counterpart of :meth:`offload_ratio`: given the
+        partition's group -> instance-set assignment, returns the
+        slice fraction landing in each group (groups with no slice of
+        this node are omitted).
+        """
+        slices = self.slices_per_node[node_id]
+        if not slices:
+            return {}
+        shares: Dict[str, float] = {}
+        for group, members in groups.items():
+            count = sum(1 for s in slices if s in members)
+            if count:
+                shares[group] = count / len(slices)
+        return shares
 
 
 def _is_expandable(graph: ElementGraph, node_id: str) -> bool:

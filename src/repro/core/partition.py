@@ -1,7 +1,11 @@
 """Graph partitioning algorithms (Section IV.C.3).
 
 Two algorithms split the expanded, weighted element graph into a CPU
-side and a GPU side:
+side and a GPU side; their multiway counterparts
+(:func:`multiway_kl_partition`, :func:`multiway_agglomerative_partition`)
+generalize the split to an arbitrary set of device *groups* (one per
+offload-device kind, plus the host group) and reduce exactly to the
+binary implementations when the group set is ``{"cpu", "gpu"}``:
 
 - :func:`kernighan_lin_partition` — a modified Kernighan–Lin/FM
   refinement: starting from a greedy initial partition, passes of
@@ -28,8 +32,9 @@ while minimizing communication costs".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -40,10 +45,23 @@ from repro.obs import resolve_trace
 #: they serialize; the engine's duplex DMA pipelining sits in between.
 CUT_PIPELINE_FACTOR = 0.5
 
+#: The device group holding the CPU cores (never charged link costs).
+HOST_GROUP = "cpu"
+
+_warned_side_of = False
+
 
 @dataclass
 class PartitionResult:
-    """Outcome of one partitioning run."""
+    """Outcome of one partitioning run.
+
+    Binary runs fill ``cpu_nodes``/``gpu_nodes``; multiway runs
+    additionally fill ``groups`` (device group -> node set) and
+    ``group_load``.  :meth:`device_groups`/:meth:`group_of` work for
+    both — binary results derive the two-group view on the fly, so
+    callers that mutate ``gpu_nodes`` (the validation oracle does)
+    stay consistent.
+    """
 
     cpu_nodes: Set[str]
     gpu_nodes: Set[str]
@@ -53,9 +71,51 @@ class PartitionResult:
     gpu_load: float
     algorithm: str
     passes: int = 0
+    #: Multiway assignment: device group name -> node set.  ``None``
+    #: for binary results (derived from cpu_nodes/gpu_nodes instead).
+    groups: Optional[Dict[str, Set[str]]] = None
+    #: Summed service time per device group (multiway runs).
+    group_load: Optional[Dict[str, float]] = None
+
+    def device_groups(self) -> Dict[str, Set[str]]:
+        """Device group name -> node set; offload groups first."""
+        if self.groups is not None:
+            return self.groups
+        return {"gpu": self.gpu_nodes, HOST_GROUP: self.cpu_nodes}
+
+    def group_of(self, node: str) -> str:
+        """The device group a node was assigned to.
+
+        Offload groups take precedence over the host group (matching
+        the legacy ``side_of`` tie-break); unknown nodes raise a
+        ``KeyError`` naming the node and the known groups.
+        """
+        host_hit = None
+        for group, nodes in self.device_groups().items():
+            if node in nodes:
+                if group == HOST_GROUP:
+                    host_hit = group
+                else:
+                    return group
+        if host_hit is not None:
+            return host_hit
+        raise KeyError(
+            f"node {node!r} is not in any partition group; "
+            f"known groups: "
+            f"{ {g: len(n) for g, n in self.device_groups().items()} }"
+        )
 
     def side_of(self, node: str) -> str:
-        return "gpu" if node in self.gpu_nodes else "cpu"
+        """Deprecated alias for :meth:`group_of`."""
+        global _warned_side_of
+        if not _warned_side_of:
+            _warned_side_of = True
+            warnings.warn(
+                "PartitionResult.side_of is deprecated; use "
+                "PartitionResult.group_of",
+                DeprecationWarning, stacklevel=2,
+            )
+        return self.group_of(node)
 
 
 def _loads(graph: nx.Graph, cpu_nodes: Set[str],
@@ -420,3 +480,431 @@ def agglomerative_partition(graph: nx.Graph, cpu_cores: int = 1,
         gpu_load=gpu_load,
         algorithm="agglomerative",
     )
+
+
+# ----------------------------------------------------------------------
+# Multiway (device-neutral) partitioning
+# ----------------------------------------------------------------------
+#
+# Nodes of a multiway graph carry a ``group_times`` attribute (device
+# group name -> per-batch service time on that group); nodes missing a
+# group in the dict cannot run there (treated as +inf, never assigned).
+# The legacy ``cpu_time``/``gpu_time`` attributes act as fallbacks for
+# the host and ``"gpu"`` groups, so binary-attributed graphs work
+# unchanged.  ``link_costs`` scales the edge weight per offload group
+# (the per-unit-share transfer cost of that group's link, relative to
+# the PCIe baseline the edge weights were computed for); a cut edge
+# charges each non-host endpoint's link once.
+
+
+def _group_time(graph: nx.Graph, node: str, group: str) -> float:
+    data = graph.nodes[node]
+    times = data.get("group_times")
+    if times is not None:
+        if group in times:
+            return times[group]
+        return 0.0 if group == HOST_GROUP else float("inf")
+    if group == HOST_GROUP:
+        return data.get("cpu_time", 0.0)
+    if group == "gpu":
+        return data.get("gpu_time", float("inf"))
+    return float("inf")
+
+
+def _edge_cut_cost(weight: float, group_u: str, group_v: str,
+                   link_costs: Dict[str, float]) -> float:
+    """Cut contribution of one edge: each non-host endpoint's link."""
+    if group_u == group_v:
+        return 0.0
+    cost = 0.0
+    if group_u != HOST_GROUP:
+        cost += weight * link_costs.get(group_u, 1.0)
+    if group_v != HOST_GROUP:
+        cost += weight * link_costs.get(group_v, 1.0)
+    return cost
+
+
+def evaluate_assignment(graph: nx.Graph,
+                        assignment: Dict[str, Set[str]],
+                        capacities: Optional[Dict[str, int]] = None,
+                        link_costs: Optional[Dict[str, float]] = None,
+                        ) -> Tuple[float, float, Dict[str, float]]:
+    """Return (objective, cut, per-group load) for a full assignment.
+
+    The objective generalizes :func:`evaluate`: ``max`` over device
+    groups of each group's bottleneck (heaviest element cluster vs.
+    load / capacity) plus ``CUT_PIPELINE_FACTOR`` times the cut.  For
+    the two-group ``{"cpu", "gpu"}`` case it computes exactly the
+    binary objective.
+    """
+    capacities = capacities or {}
+    link_costs = link_costs or {}
+    node_group: Dict[str, str] = {}
+    for group, nodes in assignment.items():
+        for node in nodes:
+            node_group[node] = group
+    loads: Dict[str, float] = {g: 0.0 for g in assignment}
+    clusters: Dict[str, Dict[str, float]] = {g: {} for g in assignment}
+    for node, data in graph.nodes(data=True):
+        group = node_group[node]
+        seconds = _group_time(graph, node, group)
+        loads[group] += seconds
+        element_group = data.get("group", node)
+        bucket = clusters[group]
+        bucket[element_group] = bucket.get(element_group, 0.0) + seconds
+    cut = 0.0
+    for u, v, data in graph.edges(data=True):
+        cut += _edge_cut_cost(data.get("weight", 0.0),
+                              node_group[u], node_group[v], link_costs)
+    bottleneck = 0.0
+    for group in assignment:
+        heaviest = max(clusters[group].values(), default=0.0)
+        fair = loads[group] / max(1, capacities.get(group, 1))
+        bottleneck = max(bottleneck, heaviest, fair)
+    return bottleneck + CUT_PIPELINE_FACTOR * cut, cut, loads
+
+
+def _binary_groups(groups: Sequence[str]) -> bool:
+    return set(groups) == {HOST_GROUP, "gpu"}
+
+
+def _wrap_binary(result: PartitionResult) -> PartitionResult:
+    """Attach the two-group view to a binary result."""
+    result.groups = {HOST_GROUP: result.cpu_nodes,
+                     "gpu": result.gpu_nodes}
+    result.group_load = {HOST_GROUP: result.cpu_load,
+                         "gpu": result.gpu_load}
+    return result
+
+
+def _multiway_result(graph: nx.Graph,
+                     assignment: Dict[str, Set[str]],
+                     capacities: Dict[str, int],
+                     link_costs: Dict[str, float],
+                     algorithm: str, passes: int = 0) -> PartitionResult:
+    objective, cut, loads = evaluate_assignment(graph, assignment,
+                                                capacities, link_costs)
+    offloaded = set()
+    for group, nodes in assignment.items():
+        if group != HOST_GROUP:
+            offloaded |= nodes
+    return PartitionResult(
+        cpu_nodes=set(assignment.get(HOST_GROUP, set())),
+        gpu_nodes=offloaded,
+        objective=objective,
+        cut_weight=cut,
+        cpu_load=loads.get(HOST_GROUP, 0.0),
+        gpu_load=sum(load for group, load in loads.items()
+                     if group != HOST_GROUP),
+        algorithm=algorithm,
+        passes=passes,
+        groups={group: set(nodes) for group, nodes in assignment.items()},
+        group_load=loads,
+    )
+
+
+def _offload_affinity(graph: nx.Graph, node: str,
+                      offload_groups: Sequence[str]) -> float:
+    """Best time-ratio over offload groups (lower offloads earlier)."""
+    host = max(1e-12, _group_time(graph, node, HOST_GROUP))
+    return min((_group_time(graph, node, group) / host
+                for group in offload_groups), default=float("inf"))
+
+
+def multiway_kl_partition(graph: nx.Graph, groups: Sequence[str],
+                          capacities: Optional[Dict[str, int]] = None,
+                          max_passes: int = 8,
+                          link_costs: Optional[Dict[str, float]] = None,
+                          trace=None) -> PartitionResult:
+    """KL/FM refinement over an arbitrary set of device groups.
+
+    ``groups`` lists the device groups (must include ``"cpu"``);
+    ``capacities`` maps each group to its parallel-unit count (CPU
+    cores, GPU boards, ...).  With exactly ``{"cpu", "gpu"}`` this
+    delegates to :func:`kernighan_lin_partition`, so binary results
+    are identical to the specialized implementation.
+    """
+    capacities = dict(capacities or {})
+    link_costs = dict(link_costs or {})
+    groups = list(dict.fromkeys(groups))
+    if HOST_GROUP not in groups:
+        groups.insert(0, HOST_GROUP)
+    if _binary_groups(groups):
+        return _wrap_binary(kernighan_lin_partition(
+            graph,
+            cpu_cores=capacities.get(HOST_GROUP, 1),
+            max_passes=max_passes,
+            gpu_units=capacities.get("gpu", 1),
+            trace=trace,
+        ))
+    trace = resolve_trace(trace)
+    offload_groups = [g for g in groups if g != HOST_GROUP]
+
+    # Greedy initial assignment: everything on the host, then offer
+    # each movable node to its cheapest-relative offload group.
+    assignment: Dict[str, Set[str]] = {g: set() for g in groups}
+    assignment[HOST_GROUP] = set(graph.nodes)
+    candidates = [n for n in graph.nodes if _movable(graph, n)]
+    candidates.sort(key=lambda n: _offload_affinity(graph, n,
+                                                    offload_groups))
+    best = evaluate_assignment(graph, assignment, capacities,
+                               link_costs)[0]
+    trace.count("partition.offload_steps_tried", len(candidates))
+    for node in candidates:
+        for target in offload_groups:
+            if _group_time(graph, node, target) == float("inf"):
+                continue
+            assignment[HOST_GROUP].discard(node)
+            assignment[target].add(node)
+            objective = evaluate_assignment(graph, assignment,
+                                            capacities, link_costs)[0]
+            if objective < best:
+                best = objective
+                break
+            assignment[target].discard(node)
+            assignment[HOST_GROUP].add(node)
+
+    node_group: Dict[str, str] = {}
+    for group, nodes in assignment.items():
+        for node in nodes:
+            node_group[node] = group
+    movable_nodes = [n for n in graph.nodes if _movable(graph, n)]
+    best_objective = best
+
+    applied_moves = 0
+    passes = 0
+    for _pass in range(max_passes):
+        passes += 1
+        locked: Set[str] = set()
+        working = dict(node_group)
+        # Incremental state, generalized from the binary pass: per-
+        # group loads, per-(group, element-cluster) sums, and the cut.
+        _obj, cut, loads = evaluate_assignment(
+            graph, {g: {n for n, gg in working.items() if gg == g}
+                    for g in groups},
+            capacities, link_costs)
+        clusters: Dict[str, Dict[str, float]] = {g: {} for g in groups}
+        for node, data in graph.nodes(data=True):
+            group = working[node]
+            element_group = data.get("group", node)
+            seconds = _group_time(graph, node, group)
+            bucket = clusters[group]
+            bucket[element_group] = bucket.get(element_group, 0.0) \
+                + seconds
+
+        def _objective_after(node: str,
+                             target: str) -> Tuple[float, float]:
+            """(objective, d_cut) if ``node`` moved to ``target``."""
+            current = working[node]
+            d_cut = 0.0
+            for neighbor, data in graph[node].items():
+                weight = data.get("weight", 0.0)
+                neighbor_group = working[neighbor]
+                d_cut -= _edge_cut_cost(weight, current,
+                                        neighbor_group, link_costs)
+                d_cut += _edge_cut_cost(weight, target,
+                                        neighbor_group, link_costs)
+            t_current = _group_time(graph, node, current)
+            t_target = _group_time(graph, node, target)
+            element_group = _group_of(graph, node)
+            worst = 0.0
+            for group in groups:
+                load = loads[group]
+                if group == current:
+                    load -= t_current
+                if group == target:
+                    load += t_target
+                heaviest = 0.0
+                seen_element = False
+                for egroup, value in clusters[group].items():
+                    if egroup == element_group:
+                        seen_element = True
+                        if group == current:
+                            value -= t_current
+                        if group == target:
+                            value += t_target
+                    if value > heaviest:
+                        heaviest = value
+                if group == target and not seen_element \
+                        and t_target > heaviest:
+                    heaviest = t_target
+                fair = load / max(1, capacities.get(group, 1))
+                worst = max(worst, heaviest, fair)
+            return (worst + CUT_PIPELINE_FACTOR * (cut + d_cut), d_cut)
+
+        trail: List[Tuple[str, str, str, float]] = []
+        for _step in range(len(movable_nodes)):
+            best_move = None
+            best_move_objective = None
+            best_d_cut = 0.0
+            for node in movable_nodes:
+                if node in locked:
+                    continue
+                for target in groups:
+                    if target == working[node]:
+                        continue
+                    if _group_time(graph, node, target) == float("inf"):
+                        continue
+                    objective, d_cut = _objective_after(node, target)
+                    if (best_move_objective is None
+                            or objective < best_move_objective):
+                        best_move = (node, target)
+                        best_move_objective = objective
+                        best_d_cut = d_cut
+            if best_move is None:
+                break
+            node, target = best_move
+            locked.add(node)
+            cut += best_d_cut
+            current = working[node]
+            t_current = _group_time(graph, node, current)
+            t_target = _group_time(graph, node, target)
+            element_group = _group_of(graph, node)
+            loads[current] -= t_current
+            loads[target] += t_target
+            clusters[current][element_group] = (
+                clusters[current].get(element_group, 0.0) - t_current)
+            clusters[target][element_group] = (
+                clusters[target].get(element_group, 0.0) + t_target)
+            working[node] = target
+            trail.append((node, current, target, best_move_objective))
+        best_prefix_index = None
+        best_prefix_objective = best_objective
+        for index, (_node, _from, _to, objective) in enumerate(trail):
+            if objective < best_prefix_objective:
+                best_prefix_objective = objective
+                best_prefix_index = index
+        if best_prefix_index is None:
+            break  # pass produced no improvement: converged
+        for node, _from, target, _objective in \
+                trail[: best_prefix_index + 1]:
+            node_group[node] = target
+        applied_moves += best_prefix_index + 1
+        best_objective = best_prefix_objective
+
+    trace.count("partition.kl.passes", passes)
+    trace.count("partition.kl.moves", applied_moves)
+    final = {g: {n for n, gg in node_group.items() if gg == g}
+             for g in groups}
+    return _multiway_result(graph, final, capacities, link_costs,
+                            algorithm="kernighan-lin-multiway",
+                            passes=passes)
+
+
+def multiway_agglomerative_partition(
+        graph: nx.Graph, groups: Sequence[str],
+        capacities: Optional[Dict[str, int]] = None,
+        link_costs: Optional[Dict[str, float]] = None,
+        trace=None) -> PartitionResult:
+    """Seed-based agglomerative clustering over device groups.
+
+    One seed per offload group (the supporting movable node with the
+    best time ratio against the host); heaviest edges are contracted
+    first unless the contraction would fuse two seed clusters, and
+    straggler clusters go to whichever group improves the objective
+    most.  Delegates to :func:`agglomerative_partition` for the binary
+    ``{"cpu", "gpu"}`` case.
+    """
+    capacities = dict(capacities or {})
+    link_costs = dict(link_costs or {})
+    groups = list(dict.fromkeys(groups))
+    if HOST_GROUP not in groups:
+        groups.insert(0, HOST_GROUP)
+    if _binary_groups(groups):
+        return _wrap_binary(agglomerative_partition(
+            graph,
+            cpu_cores=capacities.get(HOST_GROUP, 1),
+            gpu_units=capacities.get("gpu", 1),
+            trace=trace,
+        ))
+    trace = resolve_trace(trace)
+    nodes = list(graph.nodes)
+    if not nodes:
+        return PartitionResult(set(), set(), 0.0, 0.0, 0.0, 0.0,
+                               algorithm="agglomerative-multiway",
+                               groups={g: set() for g in groups},
+                               group_load={g: 0.0 for g in groups})
+    offload_groups = [g for g in groups if g != HOST_GROUP]
+    pinned = [n for n in nodes if not _movable(graph, n)]
+    movable_nodes = [n for n in nodes if _movable(graph, n)]
+    seed_host = pinned[0] if pinned else nodes[0]
+    seeds: Dict[str, str] = {}
+    for group in offload_groups:
+        supporters = [
+            n for n in movable_nodes
+            if _group_time(graph, n, group) != float("inf")
+            and n not in seeds.values() and n != seed_host
+        ]
+        if supporters:
+            seeds[group] = min(
+                supporters,
+                key=lambda n: (_group_time(graph, n, group)
+                               / max(1e-12,
+                                     _group_time(graph, n, HOST_GROUP))),
+            )
+
+    uf = _UnionFind(nodes)
+    for node in pinned:
+        uf.union(node, seed_host)
+    # Each seed's whole element moves as a unit (one kernel stream).
+    for group, seed in seeds.items():
+        seed_group = _group_of(graph, seed)
+        for node in movable_nodes:
+            if _group_of(graph, node) == seed_group \
+                    and node not in seeds.values():
+                uf.union(node, seed)
+
+    def seed_roots() -> Dict[str, str]:
+        roots = {HOST_GROUP: uf.find(seed_host)}
+        for group, seed in seeds.items():
+            roots[group] = uf.find(seed)
+        return roots
+
+    edges = sorted(graph.edges(data=True),
+                   key=lambda e: e[2].get("weight", 0.0), reverse=True)
+    merges = 0
+    for u, v, _data in edges:
+        if not (_movable(graph, u) and _movable(graph, v)):
+            continue
+        ru, rv = uf.find(u), uf.find(v)
+        if ru == rv:
+            continue
+        anchored = {root for root in seed_roots().values()
+                    if root in (ru, rv)}
+        if len(anchored) > 1:
+            continue  # never fuse two seed clusters
+        uf.union(u, v)
+        merges += 1
+    trace.count("partition.agglo.merges", merges)
+
+    roots = seed_roots()
+    root_group = {root: group for group, root in roots.items()}
+    assignment: Dict[str, Set[str]] = {g: set() for g in groups}
+    stragglers: List[str] = []
+    for node in nodes:
+        group = root_group.get(uf.find(node))
+        if group is not None:
+            assignment[group].add(node)
+        else:
+            stragglers.append(node)
+    for node in stragglers:
+        if not _movable(graph, node):
+            assignment[HOST_GROUP].add(node)
+            continue
+        trace.count("partition.offload_steps_tried")
+        best_group = HOST_GROUP
+        best_objective = None
+        for group in groups:
+            if _group_time(graph, node, group) == float("inf"):
+                continue
+            assignment[group].add(node)
+            objective = evaluate_assignment(graph, assignment,
+                                            capacities, link_costs)[0]
+            assignment[group].discard(node)
+            if best_objective is None or objective < best_objective:
+                best_objective = objective
+                best_group = group
+        assignment[best_group].add(node)
+
+    return _multiway_result(graph, assignment, capacities, link_costs,
+                            algorithm="agglomerative-multiway")

@@ -19,8 +19,8 @@ runtime statistics come from functional execution of sample traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.elements.element import Element
 from repro.elements.graph import ElementGraph
@@ -28,7 +28,6 @@ from repro.elements.offload import OffloadableElement
 from repro.hw.costs import BatchStats, CostModel
 from repro.sim.engine import BranchProfile
 from repro.traffic.dpi_profiles import MatchProfile
-from repro.traffic.generator import TrafficSpec
 
 #: Default offline profiling grid.
 DEFAULT_PACKET_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024, 1500)

@@ -25,7 +25,7 @@ against the unsynthesized graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 import networkx as nx
 

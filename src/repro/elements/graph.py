@@ -363,10 +363,10 @@ class ElementGraph:
             style = ""
             if mapping is not None and node_id in mapping:
                 placement = mapping[node_id]
-                if placement.gpu_only:
+                if placement.fully_offloaded:
                     style = ', style=filled, fillcolor="#9ecae1"'
-                elif placement.uses_gpu:
-                    label += f"\\n{placement.offload_ratio:.0%} GPU"
+                elif placement.offloaded:
+                    label += f"\\n{placement.offload_total:.0%} offload"
                     style = ', style=filled, fillcolor="#deebf7"'
             lines.append(f'  "{node_id}" [label="{label}"{style}];')
         for edge in self._edges:

@@ -13,8 +13,8 @@ executes it through :func:`run_sweep`, which gives every experiment
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement

@@ -16,7 +16,26 @@ Absolute numbers are calibrated to land in the paper's ranges; the
 reproduction targets are the *shapes* (knees, optima, orderings).
 """
 
-from repro.hw.platform import PlatformSpec, CPUSpec, GPUSpec, PCIeSpec
+from repro.hw.device import (
+    CPU_KIND,
+    DEFAULT_HOST_DEVICE,
+    GPU_KIND,
+    SMARTNIC_KIND,
+    DeviceSpec,
+    LinkSpec,
+    device_kind_defaults,
+    device_kinds,
+    make_device,
+    register_device_kind,
+    smartnic_device,
+)
+from repro.hw.platform import (
+    CPUSpec,
+    GPUSpec,
+    PCIeSpec,
+    PlatformSpec,
+    gpu_device_spec,
+)
 from repro.hw.costs import CostModel, CostParams, BatchStats
 from repro.hw.cache import cache_penalty_factor
 from repro.hw.gpu import GpuTiming
@@ -34,4 +53,17 @@ __all__ = [
     "GpuTiming",
     "InterferenceModel",
     "NF_PRESSURE_PROFILES",
+    # device registry
+    "DEFAULT_HOST_DEVICE",
+    "DeviceSpec",
+    "LinkSpec",
+    "CPU_KIND",
+    "GPU_KIND",
+    "SMARTNIC_KIND",
+    "device_kinds",
+    "device_kind_defaults",
+    "make_device",
+    "register_device_kind",
+    "smartnic_device",
+    "gpu_device_spec",
 ]

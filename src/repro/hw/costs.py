@@ -19,14 +19,15 @@ benches can perturb them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
 
 from repro.elements.element import Element
 from repro.elements.offload import OffloadableElement, OffloadTraits
 from repro.hw.cache import cache_penalty_factor
+from repro.hw.device import DeviceSpec
 from repro.hw.gpu import GpuTiming
-from repro.hw.platform import PlatformSpec
+from repro.hw.platform import PlatformSpec, gpu_device_spec
 from repro.traffic.dpi_profiles import MatchProfile
 
 #: Estimated L2..L4 header bytes per packet (Ethernet+IPv4+UDP).
@@ -285,6 +286,7 @@ class CostModel:
                  params: Optional[CostParams] = None):
         self.platform = platform or PlatformSpec()
         self.params = params or CostParams()
+        self._device_cache: Dict[str, DeviceSpec] = {}
 
     # ------------------------------------------------------------------
     # CPU
@@ -322,15 +324,53 @@ class CostModel:
         return self.platform.cpu.cycles_to_seconds(total_cycles)
 
     # ------------------------------------------------------------------
-    # GPU
+    # Offload devices (GPU, SmartNIC, any registered kind)
     # ------------------------------------------------------------------
-    def _gpu_speedup(self, traits: OffloadTraits, stats: BatchStats) -> float:
-        params = self.params
-        speedup = (params.gpu_base_speedup
-                   + params.gpu_intensity_gain
+    def device_for(self, device_id: str) -> DeviceSpec:
+        """Resolve a processor id to its :class:`DeviceSpec`.
+
+        GPU ids are materialized from the live ``GPUSpec`` *and* this
+        model's :class:`CostParams`, so calibration ablations keep
+        flowing through the generic timing path; extra devices come
+        from the platform inventory as registered.
+        """
+        spec = self._device_cache.get(device_id)
+        if spec is None:
+            spec = self._resolve_device(device_id)
+            self._device_cache[device_id] = spec
+        return spec
+
+    def _resolve_device(self, device_id: str) -> DeviceSpec:
+        platform = self.platform
+        for device in platform.extra_devices:
+            if device.device_id == device_id:
+                return device
+        if device_id in platform.gpu_processor_ids():
+            return gpu_device_spec(device_id, platform.gpu,
+                                   platform.pcie, self.params)
+        if device_id in platform.cpu_processor_ids():
+            return DeviceSpec(device_id=device_id, kind="cpu")
+        raise KeyError(
+            f"unknown device id {device_id!r}; platform devices: "
+            f"{platform.device_ids()}"
+        )
+
+    def _builtin_gpu(self) -> DeviceSpec:
+        """The canonical GPU device (independent of GPU instance ids)."""
+        spec = self._device_cache.get("__gpu__")
+        if spec is None:
+            spec = gpu_device_spec("gpu", self.platform.gpu,
+                                   self.platform.pcie, self.params)
+            self._device_cache["__gpu__"] = spec
+        return spec
+
+    def _device_speedup(self, device: DeviceSpec, traits: OffloadTraits,
+                        stats: BatchStats) -> float:
+        speedup = (device.base_speedup
+                   + device.intensity_gain
                    * math.log2(1.0 + traits.compute_intensity))
         if traits.divergent:
-            divergence = 1.0 + (params.gpu_divergence_penalty - 1.0) \
+            divergence = 1.0 + (device.divergence_penalty - 1.0) \
                 * stats.flow_mix
             speedup /= divergence
         return max(1.0, speedup)
@@ -338,50 +378,67 @@ class CostModel:
     def gpu_batch_timing(self, element: Element, stats: BatchStats,
                          persistent_kernel: bool = True,
                          co_running_kernels: int = 0) -> GpuTiming:
-        """The Fig. 4 time decomposition for one offloaded batch."""
+        """The Fig. 4 time decomposition for one GPU-offloaded batch."""
+        return self.device_batch_timing(
+            element, stats, self._builtin_gpu(),
+            persistent_kernel=persistent_kernel,
+            co_running_kernels=co_running_kernels,
+        )
+
+    def device_batch_timing(self, element: Element, stats: BatchStats,
+                            device: DeviceSpec,
+                            persistent_kernel: bool = True,
+                            co_running_kernels: int = 0) -> GpuTiming:
+        """Fig. 4 decomposition for one batch on any offload device.
+
+        The generic law parameterized by the device's cost hooks; for
+        a GPU spec it is term-for-term the model the binary pipeline
+        always used (the golden parity tests pin this).
+        """
         if not isinstance(element, OffloadableElement):
             raise TypeError(f"{element.name} is not offloadable")
         if stats.batch_size == 0:
             return GpuTiming(0.0, 0.0, 0.0, 0.0)
-        gpu = self.platform.gpu
-        params = self.params
         traits = element.traits
 
-        launch = (gpu.persistent_dispatch_seconds if persistent_kernel
-                  else gpu.kernel_launch_seconds)
-        launch *= 1.0 + params.gpu_corun_launch_inflation * co_running_kernels
+        launch = (device.persistent_dispatch_seconds if persistent_kernel
+                  else device.launch_seconds)
+        launch *= 1.0 + device.corun_launch_inflation * co_running_kernels
 
-        h2d_bytes = self._transfer_bytes(traits.h2d_bytes_per_packet,
-                                         traits.relative, stats)
-        d2h_bytes = self._transfer_bytes(traits.d2h_bytes_per_packet,
-                                         traits.relative, stats)
-        h2d = self.platform.pcie.transfer_seconds(
-            h2d_bytes, packet_count=stats.batch_size)
-        d2h = self.platform.pcie.transfer_seconds(
-            d2h_bytes, packet_count=stats.batch_size)
+        link = device.link
+        h2d = d2h = 0.0
+        if link is not None:
+            h2d_bytes = self._transfer_bytes(traits.h2d_bytes_per_packet,
+                                             traits.relative, stats)
+            d2h_bytes = self._transfer_bytes(traits.d2h_bytes_per_packet,
+                                             traits.relative, stats)
+            h2d = link.transfer_seconds(h2d_bytes,
+                                        packet_count=stats.batch_size)
+            d2h = link.transfer_seconds(d2h_bytes,
+                                        packet_count=stats.batch_size)
 
         cycles_per_packet = self.cpu_packet_cycles(element, stats)
         per_packet_seconds = self.platform.cpu.cycles_to_seconds(
             cycles_per_packet
         )
-        speedup = self._gpu_speedup(traits, stats)
-        utilization = gpu.utilization(stats.batch_size)
+        speedup = self._device_speedup(device, traits, stats)
+        utilization = device.utilization(stats.batch_size)
         kernel = (stats.batch_size * per_packet_seconds
                   / (speedup * utilization))
 
-        # Lookup tables that spill the GPU's L2 make every probe an
-        # uncoalesced DRAM access.
+        # Lookup tables that spill the device cache make every probe an
+        # uncoalesced device-DRAM access.
         footprint = self.element_footprint_bytes(element)
-        if footprint > gpu.l2_bytes:
-            doublings = min(3.0, math.log2(footprint / gpu.l2_bytes))
-            kernel *= 1.0 + params.gpu_table_spill_penalty * doublings
+        if footprint > device.cache_bytes:
+            doublings = min(3.0, math.log2(footprint / device.cache_bytes))
+            kernel *= 1.0 + device.table_spill_penalty * doublings
 
         # Memory-bandwidth floor: data touched by the kernel must stream
-        # from GPU DRAM at least once.
+        # from device DRAM at least once (inf bandwidth disables it).
         touched = (stats.batch_size * stats.mean_packet_bytes
-                   * _touch_factor(element, stats, params)
-                   * params.gpu_mem_traffic_factor)
-        kernel = max(kernel, touched / gpu.memory_bandwidth_bps)
+                   * _touch_factor(element, stats, self.params)
+                   * device.mem_traffic_factor)
+        kernel = max(kernel, touched / device.memory_bandwidth_bps)
 
         return GpuTiming(launch=launch, h2d=h2d, kernel=kernel, d2h=d2h)
 

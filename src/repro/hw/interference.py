@@ -16,7 +16,7 @@ a platform constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 
 @dataclass(frozen=True)

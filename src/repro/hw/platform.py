@@ -8,8 +8,10 @@ socket) and two Nvidia Titan X GPUs (3072 CUDA cores, 336.5 GB/s).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.device import DeviceSpec, smartnic_device
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,10 @@ class GPUSpec:
 class PCIeSpec:
     """Host-device interconnect."""
 
+    #: Link-protocol name; satisfies the :class:`~repro.hw.device.LinkSpec`
+    #: interface, so PCIe prefixes DMA resources as ``pcie:{gpu}:h2d``.
+    name = "pcie"
+
     bandwidth_bps: float = 12.0e9 * 8  # ~12 GB/s effective PCIe 3.0 x16
     latency_seconds: float = 2.5e-6    # DMA setup + doorbell per transfer
     #: Per-packet descriptor/scatter-gather overhead.  Un-optimized
@@ -91,7 +97,14 @@ class NICSpec:
 
 @dataclass(frozen=True)
 class PlatformSpec:
-    """The full heterogeneous server."""
+    """The full heterogeneous server: a collection of devices + links.
+
+    The CPU sockets and discrete GPUs remain first-class fields (the
+    unchanged Table I default); additional offload devices are carried
+    as :class:`~repro.hw.device.DeviceSpec` instances in
+    ``extra_devices``, making the platform an N-way device inventory
+    (see :meth:`devices` / :meth:`offload_device_groups`).
+    """
 
     sockets: int = 4
     cpu: CPUSpec = field(default_factory=CPUSpec)
@@ -99,6 +112,22 @@ class PlatformSpec:
     gpu: GPUSpec = field(default_factory=GPUSpec)
     pcie: PCIeSpec = field(default_factory=PCIeSpec)
     nic: NICSpec = field(default_factory=NICSpec)
+    #: Offload devices beyond the built-in GPUs, registered as data.
+    extra_devices: Tuple[DeviceSpec, ...] = ()
+
+    def __post_init__(self):
+        seen = set(self.gpu_processor_ids())
+        for device in self.extra_devices:
+            if device.is_host:
+                raise ValueError(
+                    f"extra device {device.device_id!r} has no link; "
+                    "host cores come from the CPU sockets"
+                )
+            if device.device_id in seen:
+                raise ValueError(
+                    f"duplicate device id {device.device_id!r}"
+                )
+            seen.add(device.device_id)
 
     @property
     def total_cores(self) -> int:
@@ -116,6 +145,71 @@ class PlatformSpec:
     def gpu_processor_ids(self) -> List[str]:
         return [f"gpu{i}" for i in range(self.gpus)]
 
+    # ------------------------------------------------------------------
+    # Device inventory
+    # ------------------------------------------------------------------
+    def device_ids(self) -> List[str]:
+        """Every processor id: CPU cores, GPUs, then extra devices."""
+        return (self.cpu_processor_ids()
+                + self.gpu_processor_ids()
+                + [d.device_id for d in self.extra_devices])
+
+    def device_kind(self, device_id: str) -> str:
+        """The device-kind name behind a processor id."""
+        return self.device(device_id).kind
+
+    def device(self, device_id: str) -> DeviceSpec:
+        """The :class:`DeviceSpec` behind a processor id.
+
+        CPU cores and GPUs are materialized from the platform's
+        ``cpu``/``gpu``/``pcie`` fields; extra devices are returned as
+        registered.  Unknown ids raise a ``KeyError`` naming the
+        known inventory.
+        """
+        for device in self.extra_devices:
+            if device.device_id == device_id:
+                return device
+        if device_id in self.cpu_processor_ids():
+            return DeviceSpec(device_id=device_id, kind="cpu")
+        if device_id in self.gpu_processor_ids():
+            return gpu_device_spec(device_id, self.gpu, self.pcie)
+        raise KeyError(
+            f"unknown device id {device_id!r}; platform devices: "
+            f"{self.device_ids()}"
+        )
+
+    def devices(self) -> List[DeviceSpec]:
+        """Materialized specs for every processor id."""
+        return [self.device(device_id) for device_id in self.device_ids()]
+
+    def offload_device_groups(self) -> Dict[str, List[str]]:
+        """Offload-capable processor ids grouped by device kind.
+
+        The partitioner assigns work to *groups* (one per kind) and
+        the allocator round-robins instances within a group, mirroring
+        how the binary path treats the GPU pool.
+        """
+        groups: Dict[str, List[str]] = {}
+        if self.gpus > 0:
+            groups["gpu"] = self.gpu_processor_ids()
+        for device in self.extra_devices:
+            groups.setdefault(device.kind, []).append(device.device_id)
+        return groups
+
+    def with_devices(self, *devices: DeviceSpec) -> "PlatformSpec":
+        """A copy of the platform with extra offload devices appended."""
+        return replace(self,
+                       extra_devices=self.extra_devices + tuple(devices))
+
+    def with_smartnic(self, device_id: str = "nic0",
+                      **overrides) -> "PlatformSpec":
+        """The platform plus a data-defined SmartNIC offload engine."""
+        return self.with_devices(smartnic_device(device_id, **overrides))
+
+    def describe_devices(self) -> str:
+        """One line per device (the ``repro platform show`` payload)."""
+        return "\n".join(device.describe() for device in self.devices())
+
     @classmethod
     def paper_testbed(cls) -> "PlatformSpec":
         """The Table I configuration (also the default)."""
@@ -125,3 +219,44 @@ class PlatformSpec:
     def small(cls) -> "PlatformSpec":
         """A 1-socket, 1-GPU platform for quick tests."""
         return cls(sockets=1, gpus=1)
+
+
+def gpu_device_spec(device_id: str, gpu: GPUSpec, link,
+                    params: Optional[object] = None) -> DeviceSpec:
+    """Materialize a discrete GPU as a :class:`DeviceSpec`.
+
+    Speedup/penalty hooks come from ``params`` (a
+    :class:`~repro.hw.costs.CostParams`) when given so calibration
+    ablations flow through; otherwise the registry defaults for the
+    ``gpu`` kind apply (the same numbers as the ``CostParams``
+    defaults).
+    """
+    from repro.hw.device import device_kind_defaults
+    defaults = device_kind_defaults("gpu")
+    spec = DeviceSpec(
+        device_id=device_id,
+        kind="gpu",
+        launch_seconds=gpu.kernel_launch_seconds,
+        persistent_dispatch_seconds=gpu.persistent_dispatch_seconds,
+        half_saturation_batch=gpu.half_saturation_batch,
+        base_speedup=(params.gpu_base_speedup if params is not None
+                      else defaults["base_speedup"]),
+        intensity_gain=(params.gpu_intensity_gain if params is not None
+                        else defaults["intensity_gain"]),
+        divergence_penalty=(params.gpu_divergence_penalty
+                            if params is not None
+                            else defaults["divergence_penalty"]),
+        corun_launch_inflation=(params.gpu_corun_launch_inflation
+                                if params is not None
+                                else defaults["corun_launch_inflation"]),
+        cache_bytes=float(gpu.l2_bytes),
+        table_spill_penalty=(params.gpu_table_spill_penalty
+                             if params is not None
+                             else defaults["table_spill_penalty"]),
+        memory_bandwidth_bps=gpu.memory_bandwidth_bps,
+        mem_traffic_factor=(params.gpu_mem_traffic_factor
+                            if params is not None
+                            else defaults["mem_traffic_factor"]),
+        link=link,
+    )
+    return spec

@@ -14,7 +14,7 @@ of split/merge operations it has been through — the cost model in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional
 
 from repro.net.packet import Packet

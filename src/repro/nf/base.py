@@ -9,7 +9,7 @@ NFCompass's orchestrator.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.elements.element import ActionProfile
 from repro.elements.graph import ElementGraph

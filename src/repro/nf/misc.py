@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import zlib
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.elements.element import ActionProfile, TrafficClass
 from repro.elements.graph import ElementGraph

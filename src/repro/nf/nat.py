@@ -8,7 +8,7 @@ no payload access, no drops.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.elements.element import ActionProfile, TrafficClass
 from repro.elements.graph import ElementGraph

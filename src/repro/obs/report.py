@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.trace import SIM_CLOCK, Span, Trace, WALL_CLOCK
+from repro.obs.trace import SIM_CLOCK, Trace, WALL_CLOCK
 
 
 @dataclass

@@ -20,9 +20,11 @@ splits the old monolithic engine loop into two long-lived objects:
 - :class:`SimulationSession` — per-deployment invariants computed
   once and reused across every ``run``/``measure_capacity`` call:
   topological order, source/sink sets, per-node placement/element
-  lookups, offload ratios, fan-out edge tables, and the GPU
-  boundary-crossing flags (whether a node pays H2D/D2H, formerly
-  re-derived per batch by graph walks).
+  lookups, per-device offload legs (shares, resolved
+  :class:`~repro.hw.device.DeviceSpec`, link-derived DMA resource
+  names), fan-out edge tables, and the device boundary-crossing flags
+  (whether a node pays H2D/D2H, formerly re-derived per batch by
+  graph walks).
 
 The per-node work of one batch is decomposed into small step methods
 (merge, service, split/duplicate, fan-out) operating on the session,
@@ -168,45 +170,100 @@ class _Token:
         self.packets = packets
 
 
+class _OffloadLeg:
+    """One offload device's precomputed per-node invariants.
+
+    The binary pipeline had exactly one of these (the GPU); a
+    device-neutral placement carries one leg per non-host device with
+    a positive share, in placement order.
+    """
+
+    __slots__ = (
+        "device_id", "share", "device", "h2d_resource", "d2h_resource",
+        "pays_h2d", "pays_d2h",
+    )
+
+    def __init__(self, device_id: str, share: float, device,
+                 pays_h2d: bool, pays_d2h: bool):
+        self.device_id = device_id
+        self.share = share
+        self.device = device
+        # Links are full duplex with independent DMA engines per
+        # direction; modelling one shared resource would forbid the
+        # h2d/kernel/d2h pipelining real frameworks rely on.  The
+        # resource prefix comes from the link spec, so PCIe devices
+        # keep the historical ``pcie:{gpu}:h2d`` ids.
+        link_name = device.link.name if device.link is not None else "link"
+        self.h2d_resource = f"{link_name}:{device_id}:h2d"
+        self.d2h_resource = f"{link_name}:{device_id}:d2h"
+        self.pays_h2d = pays_h2d
+        self.pays_d2h = pays_d2h
+
+
 class _NodePlan:
     """Per-node invariants precomputed once per session."""
 
     __slots__ = (
         "node_id", "element", "placement", "is_tee", "is_sink",
-        "offload_ratio", "cpu_resource", "merge_resource",
-        "gpu_resource", "pcie_h2d", "pcie_d2h", "pays_h2d", "pays_d2h",
-        "edges_by_port",
+        "host_share", "host_resource", "merge_resource", "offloads",
+        "needs_partial_merge", "edges_by_port",
     )
 
     def __init__(self, node_id: str, element, placement: Placement,
-                 is_sink: bool, pays_h2d: bool, pays_d2h: bool,
+                 is_sink: bool, offloads: Tuple[_OffloadLeg, ...],
                  edges_by_port: Dict[int, Tuple[str, ...]]):
         self.node_id = node_id
         self.element = element
         self.placement = placement
         self.is_tee = element.kind == "Tee"
         self.is_sink = is_sink
-        self.offload_ratio = placement.offload_ratio if (
-            isinstance(element, OffloadableElement) and element.offloadable
-        ) else 0.0
-        self.cpu_resource = placement.cpu_processor
-        self.merge_resource = placement.cpu_processor or "cpu0"
-        gpu = placement.gpu_processor
-        self.gpu_resource = gpu
-        # PCIe is full duplex with independent DMA engines per
-        # direction; modelling one shared resource would forbid the
-        # h2d/kernel/d2h pipelining real frameworks rely on.
-        self.pcie_h2d = f"pcie:{gpu}:h2d" if gpu else None
-        self.pcie_d2h = f"pcie:{gpu}:d2h" if gpu else None
-        self.pays_h2d = pays_h2d
-        self.pays_d2h = pays_d2h
+        self.offloads = offloads
+        if offloads:
+            self.host_share = placement.host_share
+        else:
+            # Non-offloadable elements always service the full batch
+            # on their host core, whatever the placement says.
+            self.host_share = 1.0
+        self.host_resource = placement.host
+        self.merge_resource = placement.host
+        # Service is split across (host + offload legs); rejoining the
+        # parts costs a merge (the GPUCompletionQueue pattern).
+        parts = len(offloads) + (1 if self.host_share > 0.0 else 0)
+        self.needs_partial_merge = parts > 1
         self.edges_by_port = edges_by_port
 
+    # -- transitional single-device views ------------------------------
+    @property
+    def offload_ratio(self) -> float:
+        """Total non-host batch fraction."""
+        return sum(leg.share for leg in self.offloads)
 
-def _crosses_into_gpu(deployment: Deployment, node_id: str,
-                      placement: Placement) -> bool:
-    """H2D needed unless all input already lives on the same GPU."""
-    if not placement.gpu_only:
+    @property
+    def gpu_resource(self):
+        return self.offloads[0].device_id if self.offloads else None
+
+    @property
+    def pcie_h2d(self):
+        return self.offloads[0].h2d_resource if self.offloads else None
+
+    @property
+    def pcie_d2h(self):
+        return self.offloads[0].d2h_resource if self.offloads else None
+
+    @property
+    def pays_h2d(self) -> bool:
+        return bool(self.offloads) and self.offloads[0].pays_h2d
+
+    @property
+    def pays_d2h(self) -> bool:
+        return bool(self.offloads) and self.offloads[0].pays_d2h
+
+
+def _crosses_into_device(deployment: Deployment, node_id: str,
+                         device_id: str) -> bool:
+    """H2D needed unless all input already lives on the same device."""
+    placement = deployment.mapping[node_id]
+    if placement.share_of(device_id) < 1.0:
         return True
     graph = deployment.graph
     predecessors = graph.predecessors(node_id)
@@ -214,17 +271,17 @@ def _crosses_into_gpu(deployment: Deployment, node_id: str,
         return True
     for pred in predecessors:
         pred_placement = deployment.mapping.get(pred)
-        if (pred_placement is None or not pred_placement.gpu_only
-                or pred_placement.gpu_processor
-                != placement.gpu_processor):
+        if (pred_placement is None
+                or pred_placement.share_of(device_id) < 1.0):
             return True
     return False
 
 
-def _crosses_out_of_gpu(deployment: Deployment, node_id: str,
-                        placement: Placement) -> bool:
-    """D2H needed unless every consumer stays on the same GPU."""
-    if not placement.gpu_only:
+def _crosses_out_of_device(deployment: Deployment, node_id: str,
+                           device_id: str) -> bool:
+    """D2H needed unless every consumer stays on the same device."""
+    placement = deployment.mapping[node_id]
+    if placement.share_of(device_id) < 1.0:
         return True
     graph = deployment.graph
     successors = graph.successors(node_id)
@@ -232,9 +289,8 @@ def _crosses_out_of_gpu(deployment: Deployment, node_id: str,
         return True
     for succ in successors:
         succ_placement = deployment.mapping.get(succ)
-        if (succ_placement is None or not succ_placement.gpu_only
-                or succ_placement.gpu_processor
-                != placement.gpu_processor):
+        if (succ_placement is None
+                or succ_placement.share_of(device_id) < 1.0):
             return True
     return False
 
@@ -266,13 +322,28 @@ class SimulationSession:
             edges_by_port: Dict[int, List[str]] = {}
             for edge in graph.out_edges(node_id):
                 edges_by_port.setdefault(edge.src_port, []).append(edge.dst)
+            offloads: Tuple[_OffloadLeg, ...] = ()
+            if (isinstance(element, OffloadableElement)
+                    and element.offloadable):
+                offloads = tuple(
+                    _OffloadLeg(
+                        device_id=device_id,
+                        share=share,
+                        device=self.cost.device_for(device_id),
+                        pays_h2d=_crosses_into_device(
+                            deployment, node_id, device_id),
+                        pays_d2h=_crosses_out_of_device(
+                            deployment, node_id, device_id),
+                    )
+                    for device_id, share
+                    in placement.offload_shares.items()
+                )
             self.plans[node_id] = _NodePlan(
                 node_id=node_id,
                 element=element,
                 placement=placement,
                 is_sink=node_id in self.sink_nodes,
-                pays_h2d=_crosses_into_gpu(deployment, node_id, placement),
-                pays_d2h=_crosses_out_of_gpu(deployment, node_id, placement),
+                offloads=offloads,
                 edges_by_port={port: tuple(dsts)
                                for port, dsts in edges_by_port.items()},
             )
@@ -476,14 +547,12 @@ class SimulationSession:
                       co_run_pressure_bytes: float,
                       gpu_corun_kernels: int) -> float:
         """Schedule one node's service; return its completion time."""
-        ratio = plan.offload_ratio
-        cpu_share = packets * (1.0 - ratio)
-        gpu_share = packets * ratio
+        host_packets = packets * plan.host_share
 
-        cpu_end = ready
-        if cpu_share > _EPSILON_PACKETS:
+        completion = ready
+        if host_packets > _EPSILON_PACKETS:
             stats = BatchStats(
-                batch_size=max(1, round(cpu_share)),
+                batch_size=max(1, round(host_packets)),
                 mean_packet_bytes=mean_bytes,
                 match_profile=spec.match_profile,
             )
@@ -491,20 +560,21 @@ class SimulationSession:
                 plan.element, stats,
                 co_run_pressure_bytes=co_run_pressure_bytes,
             ) * cpu_time_inflation
-            _start, cpu_end = timeline.schedule(plan.cpu_resource, ready,
-                                                service)
+            _start, completion = timeline.schedule(plan.host_resource,
+                                                   ready, service)
             overheads.cpu_compute += service
 
-        gpu_end = ready
-        if gpu_share > _EPSILON_PACKETS:
-            gpu_end = self._gpu_step(plan, ready, gpu_share, mean_bytes,
-                                     spec, timeline, overheads,
-                                     gpu_corun_kernels)
+        for leg in plan.offloads:
+            leg_packets = packets * leg.share
+            if leg_packets > _EPSILON_PACKETS:
+                leg_end = self._offload_step(plan, leg, ready,
+                                             leg_packets, mean_bytes,
+                                             spec, timeline, overheads,
+                                             gpu_corun_kernels)
+                completion = max(completion, leg_end)
 
-        completion = max(cpu_end, gpu_end)
-
-        if 0.0 < ratio < 1.0:
-            # Partial offload re-merges the two halves in order (the
+        if plan.needs_partial_merge:
+            # Split service re-merges the parts in order (the
             # GPUCompletionQueue pattern).
             merge_time = self.cost.merge_seconds(max(1, round(packets)))
             _start, completion = timeline.schedule(
@@ -512,7 +582,7 @@ class SimulationSession:
             )
             overheads.batch_merge += merge_time
 
-        if self.stateful_reassembly and ratio > 0.0:
+        if self.stateful_reassembly and plan.offloads:
             reasm = self.cost.reassembly_seconds(max(1, round(packets)))
             _start, completion = timeline.schedule(
                 plan.merge_resource, completion, reasm
@@ -521,35 +591,36 @@ class SimulationSession:
 
         return completion
 
-    def _gpu_step(self, plan: _NodePlan, ready: float, gpu_share: float,
-                  mean_bytes: float, spec: TrafficSpec,
-                  timeline: ResourceTimeline,
-                  overheads: OverheadBreakdown,
-                  gpu_corun_kernels: int) -> float:
+    def _offload_step(self, plan: _NodePlan, leg: _OffloadLeg,
+                      ready: float, leg_packets: float,
+                      mean_bytes: float, spec: TrafficSpec,
+                      timeline: ResourceTimeline,
+                      overheads: OverheadBreakdown,
+                      gpu_corun_kernels: int) -> float:
         stats = BatchStats(
-            batch_size=max(1, round(gpu_share)),
+            batch_size=max(1, round(leg_packets)),
             mean_packet_bytes=mean_bytes,
             match_profile=spec.match_profile,
         )
-        timing = self.cost.gpu_batch_timing(
-            plan.element, stats,
+        timing = self.cost.device_batch_timing(
+            plan.element, stats, leg.device,
             persistent_kernel=self.deployment.persistent_kernel,
             co_running_kernels=gpu_corun_kernels,
         )
         clock = ready
-        if plan.pays_h2d and timing.h2d > 0:
-            _start, clock = timeline.schedule(plan.pcie_h2d, clock,
+        if leg.pays_h2d and timing.h2d > 0:
+            _start, clock = timeline.schedule(leg.h2d_resource, clock,
                                               timing.h2d)
             overheads.pcie_transfer += timing.h2d
 
         kernel_time = timing.launch + timing.kernel
-        _start, clock = timeline.schedule(plan.gpu_resource, clock,
+        _start, clock = timeline.schedule(leg.device_id, clock,
                                           kernel_time)
         overheads.kernel_launch += timing.launch
         overheads.gpu_kernel += timing.kernel
 
-        if plan.pays_d2h and timing.d2h > 0:
-            _start, clock = timeline.schedule(plan.pcie_d2h, clock,
+        if leg.pays_d2h and timing.d2h > 0:
+            _start, clock = timeline.schedule(leg.d2h_resource, clock,
                                               timing.d2h)
             overheads.pcie_transfer += timing.d2h
         return clock

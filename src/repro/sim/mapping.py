@@ -1,52 +1,222 @@
 """Deployments: element graphs mapped onto processors.
 
-A :class:`Placement` pins one element to a CPU core, a GPU, or a
-ratio-split of both (the paper's partial offloading).  A
-:class:`Mapping` assigns every node of a graph; a :class:`Deployment`
-bundles graph + mapping + execution options and is what the
-:class:`~repro.sim.engine.SimulationEngine` runs.
+A :class:`Placement` assigns one element a *share vector* over device
+ids: each entry is the fraction of every batch serviced on that
+device.  The paper's binary special case — a CPU core plus a
+ratio-split GPU — is the two-entry vector, and the legacy
+``(cpu_processor, gpu_processor, offload_ratio)`` constructor keyword
+triple still builds exactly that (the fields remain readable under a
+:class:`DeprecationWarning`).  A :class:`Mapping` assigns every node
+of a graph; a :class:`Deployment` bundles graph + mapping + execution
+options and is what the :class:`~repro.sim.engine.SimulationEngine`
+runs.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping as MappingABC, Optional
 
 from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement
+from repro.hw.device import DEFAULT_HOST_DEVICE
 from repro.hw.platform import PlatformSpec
 
+#: Share vectors must sum to 1 within this tolerance (float fractions
+#: like 0.1 + 0.2 + 0.7 do not sum exactly).
+_SHARE_SUM_TOLERANCE = 1e-9
 
-@dataclass(frozen=True)
+_UNSET = object()
+
+_warned_legacy_fields = set()
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    if name in _warned_legacy_fields:
+        return
+    _warned_legacy_fields.add(name)
+    warnings.warn(
+        f"Placement.{name} is deprecated; use Placement.{replacement}",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 class Placement:
-    """Where one element runs.
+    """Where one element runs: per-device batch-share fractions.
 
-    ``offload_ratio`` is the fraction of each batch processed on
-    ``gpu_processor``; the remainder runs on ``cpu_processor``.  A
-    ratio of 0 needs no GPU; a ratio of 1 needs no CPU side (but a CPU
-    core still hosts the completion handling).
+    ``shares`` maps device ids to the fraction of each batch serviced
+    there; fractions sum to 1.  ``host`` is the CPU core that owns the
+    element's batch bookkeeping (merges, splits, reassembly) even when
+    the whole batch is offloaded — the completion-handling core of the
+    paper's GPU-only placements.
+
+    The legacy triple keywords build the binary vector::
+
+        Placement(cpu_processor="cpu3", gpu_processor="gpu0",
+                  offload_ratio=0.3)
+        # == Placement(shares={"cpu3": 0.7, "gpu0": 0.3}, host="cpu3")
     """
 
-    cpu_processor: Optional[str] = "cpu0"
-    gpu_processor: Optional[str] = None
-    offload_ratio: float = 0.0
+    __slots__ = ("_shares", "_host", "_legacy_cpu")
 
-    def __post_init__(self):
-        if not 0.0 <= self.offload_ratio <= 1.0:
+    def __init__(self, cpu_processor=_UNSET,
+                 gpu_processor: Optional[str] = None,
+                 offload_ratio: float = 0.0, *,
+                 shares: Optional[MappingABC] = None,
+                 host: Optional[str] = None):
+        if shares is not None:
+            if cpu_processor is not _UNSET or gpu_processor is not None \
+                    or offload_ratio:
+                raise ValueError(
+                    "pass either shares=/host= or the legacy "
+                    "cpu_processor/gpu_processor/offload_ratio triple"
+                )
+            self._init_from_shares(dict(shares), host)
+            return
+        cpu = DEFAULT_HOST_DEVICE if cpu_processor is _UNSET \
+            else cpu_processor
+        if not 0.0 <= offload_ratio <= 1.0:
             raise ValueError("offload ratio must be in [0, 1]")
-        if self.offload_ratio > 0.0 and self.gpu_processor is None:
+        if offload_ratio > 0.0 and gpu_processor is None:
             raise ValueError("offloaded placement needs a gpu_processor")
-        if self.offload_ratio < 1.0 and self.cpu_processor is None:
+        if offload_ratio < 1.0 and cpu is None:
             raise ValueError("CPU-share placement needs a cpu_processor")
+        vector: Dict[str, float] = {}
+        if offload_ratio < 1.0:
+            vector[cpu] = 1.0 - offload_ratio
+        if offload_ratio > 0.0:
+            vector[gpu_processor] = offload_ratio
+        self._shares = vector
+        self._host = cpu if cpu is not None \
+            else (host or DEFAULT_HOST_DEVICE)
+        self._legacy_cpu = cpu
+
+    def _init_from_shares(self, vector: Dict[str, float],
+                          host: Optional[str]) -> None:
+        total = 0.0
+        for device_id, fraction in list(vector.items()):
+            if not isinstance(device_id, str) or not device_id:
+                raise ValueError(
+                    f"share keys must be device ids, got {device_id!r}"
+                )
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(
+                    f"share for {device_id!r} must be in [0, 1], "
+                    f"got {fraction!r}"
+                )
+            if fraction == 0.0:
+                del vector[device_id]
+                continue
+            total += fraction
+        if not vector:
+            raise ValueError("placement needs at least one device share")
+        if abs(total - 1.0) > _SHARE_SUM_TOLERANCE:
+            raise ValueError(
+                f"device shares must sum to 1, got {total!r} "
+                f"over {sorted(vector)}"
+            )
+        if host is None:
+            host = next(
+                (d for d in vector if d.startswith("cpu")),
+                DEFAULT_HOST_DEVICE,
+            )
+        self._shares = vector
+        self._host = host
+        self._legacy_cpu = host if host in vector else None
+
+    # -- device-neutral API --------------------------------------------
+    @property
+    def shares(self) -> Dict[str, float]:
+        """Device id -> batch fraction (a copy; insertion-ordered)."""
+        return dict(self._shares)
+
+    @property
+    def host(self) -> str:
+        """The CPU core owning batch bookkeeping for this element."""
+        return self._host
+
+    @property
+    def host_share(self) -> float:
+        """Fraction of each batch serviced on the host core."""
+        return self._shares.get(self._host, 0.0)
+
+    @property
+    def offload_shares(self) -> Dict[str, float]:
+        """Shares on non-host devices, placement order."""
+        return {device: fraction
+                for device, fraction in self._shares.items()
+                if device != self._host}
+
+    @property
+    def offload_total(self) -> float:
+        """Total fraction serviced off the host core."""
+        return sum(self.offload_shares.values())
+
+    @property
+    def offloaded(self) -> bool:
+        return any(device != self._host for device in self._shares)
+
+    @property
+    def fully_offloaded(self) -> bool:
+        return self._host not in self._shares
+
+    def devices_used(self) -> List[str]:
+        """Devices with a positive share, placement order."""
+        return list(self._shares)
+
+    def share_of(self, device_id: str) -> float:
+        return self._shares.get(device_id, 0.0)
+
+    @classmethod
+    def on(cls, device_id: str,
+           host: Optional[str] = None) -> "Placement":
+        """The whole batch on one device."""
+        return cls(shares={device_id: 1.0}, host=host)
+
+    # -- legacy binary fields (deprecated) -----------------------------
+    @property
+    def cpu_processor(self) -> Optional[str]:
+        _warn_legacy("cpu_processor", "host / shares")
+        return self._legacy_cpu
+
+    @property
+    def gpu_processor(self) -> Optional[str]:
+        _warn_legacy("gpu_processor", "offload_shares")
+        for device in self._shares:
+            if device != self._host:
+                return device
+        return None
+
+    @property
+    def offload_ratio(self) -> float:
+        _warn_legacy("offload_ratio", "offload_total")
+        return self.offload_total
 
     @property
     def uses_gpu(self) -> bool:
-        return self.offload_ratio > 0.0
+        _warn_legacy("uses_gpu", "offloaded")
+        return self.offloaded
 
     @property
     def gpu_only(self) -> bool:
-        return self.offload_ratio >= 1.0
+        _warn_legacy("gpu_only", "fully_offloaded")
+        return self.fully_offloaded
+
+    # -- value semantics (the old frozen dataclass behaviour) ----------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return (self._shares == other._shares
+                and self._host == other._host)
+
+    def __hash__(self) -> int:
+        return hash((self._host, tuple(sorted(self._shares.items()))))
+
+    def __repr__(self) -> str:
+        return (f"Placement(shares={self._shares!r}, "
+                f"host={self._host!r})")
 
 
 class Mapping:
@@ -74,10 +244,7 @@ class Mapping:
     def processors_used(self) -> List[str]:
         used = set()
         for placement in self._placements.values():
-            if placement.cpu_processor and placement.offload_ratio < 1.0:
-                used.add(placement.cpu_processor)
-            if placement.gpu_processor and placement.offload_ratio > 0.0:
-                used.add(placement.gpu_processor)
+            used.update(placement.devices_used())
         return sorted(used)
 
     def validate_against(self, graph: ElementGraph) -> None:
@@ -88,12 +255,12 @@ class Mapping:
             if node_id not in graph:
                 raise ValueError(f"mapping covers unknown node {node_id!r}")
             element = graph.element(node_id)
-            if placement.uses_gpu and not isinstance(element,
-                                                     OffloadableElement):
+            if placement.offloaded and not isinstance(element,
+                                                      OffloadableElement):
                 raise ValueError(
                     f"{node_id} ({element.kind}) is not offloadable"
                 )
-            if placement.uses_gpu and not element.offloadable:
+            if placement.offloaded and not element.offloadable:
                 raise ValueError(
                     f"{node_id} ({element.kind}) declares itself "
                     "non-offloadable (stateful)"
@@ -104,7 +271,8 @@ class Mapping:
     # ------------------------------------------------------------------
     @classmethod
     def all_cpu(cls, graph: ElementGraph,
-                cores: Iterable[str] = ("cpu0",)) -> "Mapping":
+                cores: Iterable[str] = (DEFAULT_HOST_DEVICE,)
+                ) -> "Mapping":
         """Round-robin elements over CPU cores, no offloading."""
         cores = list(cores)
         rr = itertools.cycle(cores)
@@ -115,7 +283,7 @@ class Mapping:
 
     @classmethod
     def fixed_ratio(cls, graph: ElementGraph, ratio: float,
-                    cores: Iterable[str] = ("cpu0",),
+                    cores: Iterable[str] = (DEFAULT_HOST_DEVICE,),
                     gpus: Iterable[str] = ("gpu0",)) -> "Mapping":
         """Offload every offloadable element at one global ratio.
 
@@ -142,7 +310,7 @@ class Mapping:
 
     @classmethod
     def all_gpu(cls, graph: ElementGraph,
-                cores: Iterable[str] = ("cpu0",),
+                cores: Iterable[str] = (DEFAULT_HOST_DEVICE,),
                 gpus: Iterable[str] = ("gpu0",)) -> "Mapping":
         """Offload every offloadable element fully."""
         return cls.fixed_ratio(graph, 1.0, cores=cores, gpus=gpus)

@@ -6,7 +6,6 @@ from pathlib import Path
 from hypothesis import given
 from hypothesis import strategies as st
 
-import pytest
 
 from repro.core.actions import Hazard, conflicting_write_fields, \
     explain, hazards_between, parallelizable

@@ -2,11 +2,12 @@
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.core.allocator import GraphTaskAllocator
 from repro.hw.platform import PlatformSpec
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
-from repro.traffic.distributions import FixedSize, IMIXSize
+from repro.traffic.distributions import IMIXSize
 from repro.traffic.generator import TrafficSpec
 
 
@@ -52,7 +53,7 @@ class TestAllocation:
     def test_cpu_cores_load_balanced(self, spec):
         _graph, _mapping, report = allocate(
             ["ipsec", "ids"], spec,
-            cpu_cores=["cpu0", "cpu1", "cpu2"],
+            cpu_cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"],
         )
         loads = sorted(report.cpu_core_loads.values())
         assert len(loads) == 3

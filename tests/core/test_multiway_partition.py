@@ -1,0 +1,178 @@
+"""Unit tests for multiway (N-device-group) partitioning."""
+
+import networkx as nx
+import pytest
+from builders import offload_friendly_graph, weighted_graph
+
+from repro.core.partition import (
+    HOST_GROUP,
+    evaluate_assignment,
+    kernighan_lin_partition,
+    multiway_agglomerative_partition,
+    multiway_kl_partition,
+)
+
+
+def three_device_graph():
+    """Two offloadables that prefer *different* devices, pinned ends.
+
+    ``a`` is cheap on the GPU and unsupported on the NIC; ``b`` is
+    cheap on the NIC and mediocre on the GPU — an optimal three-group
+    assignment splits them.
+    """
+    graph = weighted_graph(
+        {
+            "rx": (0.5, float("inf"), "cpu"),
+            "a": (50.0, 2.0, None),
+            "b": (40.0, 30.0, None),
+            "tx": (0.5, float("inf"), "cpu"),
+        },
+        [("rx", "a", 0.2), ("a", "b", 0.2), ("b", "tx", 0.2)],
+    )
+    graph.nodes["a"]["group_times"] = {
+        HOST_GROUP: 50.0, "gpu": 2.0,
+    }
+    graph.nodes["b"]["group_times"] = {
+        HOST_GROUP: 40.0, "gpu": 30.0, "smartnic": 1.5,
+    }
+    return graph
+
+
+GROUPS3 = [HOST_GROUP, "gpu", "smartnic"]
+
+
+class TestEvaluateAssignment:
+    def test_binary_case_matches_evaluate(self):
+        from repro.core.partition import evaluate
+        graph = offload_friendly_graph()
+        gpu_nodes = {"heavy"}
+        objective, cut, cpu_load, gpu_load = evaluate(
+            graph, gpu_nodes, cpu_cores=4)
+        assignment = {HOST_GROUP: {"rx", "tx"}, "gpu": gpu_nodes}
+        m_objective, m_cut, loads = evaluate_assignment(
+            graph, assignment, capacities={HOST_GROUP: 4, "gpu": 1})
+        assert m_objective == pytest.approx(objective)
+        assert m_cut == pytest.approx(cut)
+        assert loads[HOST_GROUP] == pytest.approx(cpu_load)
+        assert loads["gpu"] == pytest.approx(gpu_load)
+
+    def test_link_costs_scale_cut(self):
+        graph = three_device_graph()
+        assignment = {HOST_GROUP: {"rx", "b", "tx"}, "gpu": {"a"},
+                      "smartnic": set()}
+        _, cut_base, _ = evaluate_assignment(graph, assignment)
+        _, cut_slow, _ = evaluate_assignment(
+            graph, assignment, link_costs={"gpu": 3.0})
+        assert cut_slow == pytest.approx(3.0 * cut_base)
+
+    def test_host_endpoints_never_charged(self):
+        graph = nx.Graph()
+        graph.add_node("u", group_times={HOST_GROUP: 1.0})
+        graph.add_node("v", group_times={HOST_GROUP: 1.0, "gpu": 1.0})
+        graph.add_edge("u", "v", weight=2.0)
+        _, cut, _ = evaluate_assignment(
+            graph, {HOST_GROUP: {"u"}, "gpu": {"v"}},
+            link_costs={"gpu": 1.0})
+        # Only the gpu endpoint pays; the host side is free.
+        assert cut == pytest.approx(2.0)
+
+
+class TestMultiwayKL:
+    def test_binary_delegates_exactly(self):
+        graph = offload_friendly_graph()
+        binary = kernighan_lin_partition(graph, cpu_cores=4)
+        multi = multiway_kl_partition(
+            graph, [HOST_GROUP, "gpu"],
+            capacities={HOST_GROUP: 4, "gpu": 1})
+        assert multi.cpu_nodes == binary.cpu_nodes
+        assert multi.gpu_nodes == binary.gpu_nodes
+        assert multi.objective == binary.objective
+        assert multi.groups == {HOST_GROUP: binary.cpu_nodes,
+                                "gpu": binary.gpu_nodes}
+
+    def test_splits_across_three_groups(self):
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        assert result.group_of("a") == "gpu"
+        assert result.group_of("b") == "smartnic"
+        assert result.group_of("rx") == HOST_GROUP
+
+    def test_unsupported_group_never_assigned(self):
+        # "a" has no smartnic entry in group_times -> infinite there.
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        assert "a" not in result.groups["smartnic"]
+
+    def test_pinned_nodes_stay_on_host(self):
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        assert {"rx", "tx"} <= result.groups[HOST_GROUP]
+
+    def test_partition_is_total(self):
+        graph = three_device_graph()
+        result = multiway_kl_partition(graph, GROUPS3)
+        assigned = set()
+        for nodes in result.groups.values():
+            assert not (assigned & nodes)
+            assigned |= nodes
+        assert assigned == set(graph.nodes)
+
+    def test_group_load_consistent(self):
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        assert result.cpu_load == pytest.approx(
+            result.group_load[HOST_GROUP])
+        offload = sum(load for group, load in result.group_load.items()
+                      if group != HOST_GROUP)
+        assert result.gpu_load == pytest.approx(offload)
+
+    def test_empty_graph(self):
+        result = multiway_kl_partition(nx.Graph(), GROUPS3)
+        assert result.groups == {g: set() for g in GROUPS3}
+
+
+class TestMultiwayAgglomerative:
+    def test_binary_delegates_exactly(self):
+        from repro.core.partition import agglomerative_partition
+        graph = offload_friendly_graph()
+        binary = agglomerative_partition(graph, cpu_cores=4)
+        multi = multiway_agglomerative_partition(
+            graph, [HOST_GROUP, "gpu"],
+            capacities={HOST_GROUP: 4, "gpu": 1})
+        assert multi.cpu_nodes == binary.cpu_nodes
+        assert multi.gpu_nodes == binary.gpu_nodes
+
+    def test_splits_across_three_groups(self):
+        result = multiway_agglomerative_partition(
+            three_device_graph(), GROUPS3)
+        assert result.group_of("a") == "gpu"
+        assert result.group_of("b") == "smartnic"
+
+    def test_partition_is_total(self):
+        graph = three_device_graph()
+        result = multiway_agglomerative_partition(graph, GROUPS3)
+        assigned = set()
+        for nodes in result.groups.values():
+            assigned |= nodes
+        assert assigned == set(graph.nodes)
+
+
+class TestGroupOf:
+    def test_unknown_node_raises_structured_keyerror(self):
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        with pytest.raises(KeyError) as excinfo:
+            result.group_of("ghost")
+        message = str(excinfo.value)
+        assert "ghost" in message
+        for group in GROUPS3:
+            assert group in message
+
+    def test_side_of_is_deprecated_alias(self):
+        import repro.core.partition as partition_module
+        result = multiway_kl_partition(three_device_graph(), GROUPS3)
+        partition_module._warned_side_of = False
+        with pytest.deprecated_call():
+            assert result.side_of("a") == result.group_of("a")
+
+    def test_binary_result_side_of_still_works(self):
+        result = kernighan_lin_partition(offload_friendly_graph(),
+                                         cpu_cores=4)
+        assert result.group_of("heavy") in (HOST_GROUP, "gpu")
+        with pytest.raises(KeyError):
+            result.group_of("ghost")

@@ -15,7 +15,6 @@ from repro.elements.standard import (
 )
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
-from repro.net.packet import Packet
 
 
 @pytest.fixture

@@ -42,7 +42,7 @@ class TestDotExport:
         ).concatenated_graph()
         mapping = Mapping.fixed_ratio(graph, 0.7)
         dot = graph.to_dot(mapping=mapping)
-        assert "70% GPU" in dot
+        assert "70% offload" in dot
         full = Mapping.all_gpu(graph)
         dot_full = graph.to_dot(mapping=full)
         assert "#9ecae1" in dot_full

@@ -8,7 +8,6 @@ from repro.elements.standard import (
     Counter,
     Discard,
     FromDevice,
-    HashSwitch,
     Tee,
     ToDevice,
 )

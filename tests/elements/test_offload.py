@@ -1,6 +1,5 @@
 """Unit tests for offloadable elements and the GPU completion queue."""
 
-import pytest
 
 from repro.elements.offload import (
     GPUCompletionQueue,

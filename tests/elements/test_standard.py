@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.elements.element import TrafficClass
 from repro.elements.standard import (
     CheckIPHeader,
     Classifier,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net.packet import (
-    ETHERTYPE_IPV4,
     ETHERTYPE_IPV6,
     EthernetHeader,
     IPPROTO_TCP,

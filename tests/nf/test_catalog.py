@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.elements.element import ActionProfile
 from repro.nf.base import NetworkFunction
 from repro.nf.catalog import NF_CATALOG, action_profile_of, make_nf
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 import pytest
 
 from repro.net.batch import PacketBatch
-from repro.net.packet import IPv4Header, Packet, int_to_ipv4, ipv4_to_int
+from repro.net.packet import IPv4Header, Packet, ipv4_to_int
 from repro.nf.ipv4 import IPv4Forwarder, IPv4Lookup, LPMTrie
 
 

@@ -90,7 +90,6 @@ class TestWANOptimizer:
         assert len(out[0]) == 1
 
     def test_incompressible_payload_kept_raw(self):
-        import os
         dedup = DedupCompress()
         random_bytes = bytes(range(256))[:64]  # short, poorly compressible
         packet = Packet(payload=random_bytes)

@@ -1,6 +1,5 @@
 """Tests for cross-packet stateful DPI."""
 
-import pytest
 
 from repro.net.batch import PacketBatch
 from repro.net.packet import IPPROTO_TCP, IPv4Header, Packet, TCPHeader

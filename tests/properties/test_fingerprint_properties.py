@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hw.platform import CPUSpec, GPUSpec, PlatformSpec
+from repro.hw.platform import CPUSpec, PlatformSpec
 from repro.nf.catalog import NF_CATALOG
 from repro.runner import deployment_fingerprint
 from repro.traffic.distributions import FixedSize, UniformSize

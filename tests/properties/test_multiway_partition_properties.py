@@ -1,0 +1,88 @@
+"""Hypothesis properties of multiway partitioning (run with -m property).
+
+The refactor contract: on a two-device platform the generalized
+multiway partitioners are *result-identical* to the specialized binary
+implementations — same node sets, same objective, same move trail
+length.  Additionally, any multiway assignment's reported objective
+must agree with an independent re-evaluation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from builders import weighted_graph
+from repro.core.partition import (
+    HOST_GROUP,
+    agglomerative_partition,
+    evaluate_assignment,
+    kernighan_lin_partition,
+    multiway_agglomerative_partition,
+    multiway_kl_partition,
+)
+
+pytestmark = pytest.mark.property
+
+times = st.floats(min_value=0.01, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+weights = st.floats(min_value=0.0, max_value=10.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def partition_graphs(draw):
+    """A random chain-shaped partition graph (the expanded schema)."""
+    count = draw(st.integers(min_value=2, max_value=8))
+    nodes = {}
+    for index in range(count):
+        cpu_time = draw(times)
+        offloadable = draw(st.booleans())
+        gpu_time = draw(times) if offloadable else float("inf")
+        pinned = None if offloadable else "cpu"
+        nodes[f"n{index}"] = (cpu_time, gpu_time, pinned)
+    edges = [(f"n{i}", f"n{i + 1}", draw(weights))
+             for i in range(count - 1)]
+    return weighted_graph(nodes, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=partition_graphs(),
+       cores=st.integers(min_value=1, max_value=6),
+       gpus=st.integers(min_value=1, max_value=2))
+def test_multiway_kl_identical_to_binary(graph, cores, gpus):
+    binary = kernighan_lin_partition(graph, cpu_cores=cores,
+                                     gpu_units=gpus)
+    multi = multiway_kl_partition(
+        graph, [HOST_GROUP, "gpu"],
+        capacities={HOST_GROUP: cores, "gpu": gpus})
+    assert multi.cpu_nodes == binary.cpu_nodes
+    assert multi.gpu_nodes == binary.gpu_nodes
+    assert multi.objective == binary.objective
+    assert multi.cut_weight == binary.cut_weight
+    assert multi.passes == binary.passes
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=partition_graphs(), cores=st.integers(min_value=1,
+                                                   max_value=6))
+def test_multiway_agglomerative_identical_to_binary(graph, cores):
+    binary = agglomerative_partition(graph, cpu_cores=cores)
+    multi = multiway_agglomerative_partition(
+        graph, [HOST_GROUP, "gpu"],
+        capacities={HOST_GROUP: cores, "gpu": 1})
+    assert multi.cpu_nodes == binary.cpu_nodes
+    assert multi.gpu_nodes == binary.gpu_nodes
+    assert multi.objective == binary.objective
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=partition_graphs(),
+       cores=st.integers(min_value=1, max_value=6))
+def test_reported_objective_matches_reevaluation(graph, cores):
+    capacities = {HOST_GROUP: cores, "gpu": 1}
+    result = multiway_kl_partition(graph, [HOST_GROUP, "gpu"],
+                                   capacities=capacities)
+    objective, cut, loads = evaluate_assignment(
+        graph, result.device_groups(), capacities=capacities)
+    assert result.objective == pytest.approx(objective)
+    assert result.cut_weight == pytest.approx(cut)

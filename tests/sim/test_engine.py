@@ -2,14 +2,15 @@
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.elements.graph import ElementGraph
 from repro.elements.standard import Counter, FromDevice, HashSwitch, \
     ToDevice
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
-from repro.sim.engine import BranchProfile, SimulationEngine, _Resources
+from repro.sim.engine import BranchProfile, _Resources
 from repro.sim.kernel import ResourceTimeline
-from repro.sim.mapping import Deployment, Mapping, Placement
+from repro.sim.mapping import Deployment, Mapping
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficSpec
 
@@ -23,10 +24,10 @@ def simple_deployment(nf_type="ipv4", ratio=0.0, persistent=False):
     graph = ServiceFunctionChain([make_nf(nf_type)]).concatenated_graph()
     if ratio > 0:
         mapping = Mapping.fixed_ratio(graph, ratio,
-                                      cores=["cpu0", "cpu1", "cpu2"],
+                                      cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"],
                                       gpus=["gpu0"])
     else:
-        mapping = Mapping.all_cpu(graph, cores=["cpu0", "cpu1", "cpu2"])
+        mapping = Mapping.all_cpu(graph, cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"])
     return Deployment(graph, mapping, persistent_kernel=persistent,
                       name=f"{nf_type}-{ratio}")
 

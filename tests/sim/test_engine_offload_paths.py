@@ -3,9 +3,9 @@ GPU contiguity (transfer skipping), and overhead attribution."""
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
-from repro.sim.engine import SimulationEngine
 from repro.sim.mapping import Deployment, Mapping, Placement
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficSpec
@@ -60,11 +60,11 @@ class TestGpuContiguity:
                 gpu = "gpu0" if shared_gpu else f"gpu{gpu_index % 2}"
                 gpu_index += 1
                 placements[node] = Placement(
-                    cpu_processor="cpu0", gpu_processor=gpu,
+                    cpu_processor=DEFAULT_HOST_DEVICE, gpu_processor=gpu,
                     offload_ratio=1.0,
                 )
             else:
-                placements[node] = Placement(cpu_processor="cpu0")
+                placements[node] = Placement(cpu_processor=DEFAULT_HOST_DEVICE)
         return Mapping(placements)
 
     def test_adjacent_gpu_elements_skip_intermediate_transfers(

@@ -21,6 +21,7 @@ replay the same scenarios at longer horizons.
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.elements.offload import OffloadableElement
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
@@ -59,7 +60,7 @@ def partial_offload_scenario():
                        seed=23)
     graph = chain_graph("ipsec", "ids")
     mapping = Mapping.fixed_ratio(graph, 0.6,
-                                  cores=["cpu0", "cpu1", "cpu2"],
+                                  cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"],
                                   gpus=["gpu0"])
     deployment = Deployment(graph, mapping, persistent_kernel=True,
                             stateful_reassembly=True,

@@ -10,6 +10,7 @@ engine (the full golden matrix lives in ``test_golden_parity.py``).
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
 from repro.sim.engine import BranchProfile, SimulationEngine
@@ -32,10 +33,10 @@ def chain_deployment(nf_types=("firewall", "ids"), ratio=0.0,
     ).concatenated_graph()
     if ratio > 0:
         mapping = Mapping.fixed_ratio(graph, ratio,
-                                      cores=["cpu0", "cpu1", "cpu2"],
+                                      cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"],
                                       gpus=["gpu0"])
     else:
-        mapping = Mapping.all_cpu(graph, cores=["cpu0", "cpu1", "cpu2"])
+        mapping = Mapping.all_cpu(graph, cores=[DEFAULT_HOST_DEVICE, "cpu1", "cpu2"])
     return Deployment(graph, mapping, persistent_kernel=persistent,
                       name="kernel-test")
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.hw import DEFAULT_HOST_DEVICE
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
 from repro.sim.mapping import Deployment, Mapping, Placement
@@ -75,7 +76,7 @@ class TestMapping:
             mapping.validate_against(graph)
 
     def test_processors_used(self, graph):
-        mapping = Mapping.fixed_ratio(graph, 0.5, cores=["cpu0"],
+        mapping = Mapping.fixed_ratio(graph, 0.5, cores=[DEFAULT_HOST_DEVICE],
                                       gpus=["gpu1"])
         used = mapping.processors_used()
         assert "cpu0" in used
