@@ -34,6 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.orchestrator import SFCOrchestrator  # noqa: E402
 from repro.elements.offload import OffloadableElement  # noqa: E402
+from repro.faults import empty_timeline, single_crash  # noqa: E402
 from repro.hw import DEFAULT_HOST_DEVICE  # noqa: E402
 from repro.hw.costs import CostModel  # noqa: E402
 from repro.hw.platform import PlatformSpec  # noqa: E402
@@ -59,14 +60,12 @@ def _multi_gpu_mapping(graph, ratio=0.7, cores=6, gpus=2):
         core = f"cpu{core_index % cores}"
         core_index += 1
         if isinstance(element, OffloadableElement) and element.offloadable:
-            placements[node] = Placement(
-                cpu_processor=core,
-                gpu_processor=f"gpu{gpu_index % gpus}",
-                offload_ratio=ratio,
+            placements[node] = Placement.split(
+                core, f"gpu{gpu_index % gpus}", ratio
             )
             gpu_index += 1
         else:
-            placements[node] = Placement(cpu_processor=core)
+            placements[node] = Placement.split(core)
     return Mapping(placements)
 
 
@@ -241,7 +240,7 @@ def device_scaling_row(device_count):
                 shares = {core: 0.4, "gpu0": 0.6}
             placements[node] = Placement(shares=shares, host=core)
         else:
-            placements[node] = Placement(cpu_processor=core)
+            placements[node] = Placement.split(core)
     deployment = Deployment(graph, Mapping(placements),
                             persistent_kernel=True,
                             name=f"bench-devices-{device_count}")
@@ -269,6 +268,58 @@ def device_scaling_row(device_count):
     return row
 
 
+def fault_overhead_row():
+    """Fault-path kernel overhead (non-gating, recorded).
+
+    Times the same cached session three ways: without the ``faults``
+    kwarg, with an empty timeline (must ride the identical zero-cost
+    path), and with a live crash schedule that re-queues every
+    offload batch onto its host core.  The empty-vs-none delta is the
+    cost of threading the feature; the crash delta is the cost of the
+    re-queue machinery when it actually fires.
+    """
+    deployment, spec, batch_size, batch_count = small_scenario()
+    batch_count *= 5
+    profile = BranchProfile.measure(
+        deployment.graph.clone(), spec, sample_packets=256,
+        batch_size=batch_size,
+    )
+    kwargs = dict(batch_size=batch_size, batch_count=batch_count,
+                  branch_profile=profile)
+    session = SimulationEngine().session(deployment)
+    session.run(spec, **dict(kwargs, batch_count=50))  # warm
+
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs)
+    none_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs, faults=empty_timeline())
+    empty_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs, faults=single_crash("gpu0", 0.0))
+    crash_seconds = time.perf_counter() - t0
+    requeued = session.last_fault_stats["requeued_batches"]
+
+    row = {
+        "batch_count": batch_count,
+        "none_seconds": round(none_seconds, 6),
+        "empty_timeline_seconds": round(empty_seconds, 6),
+        "crash_seconds": round(crash_seconds, 6),
+        "requeued_batches": requeued,
+        "empty_overhead_pct": round(
+            100.0 * (empty_seconds - none_seconds) / none_seconds, 2),
+        "crash_overhead_pct": round(
+            100.0 * (crash_seconds - none_seconds) / none_seconds, 2),
+    }
+    print(f"faults   batches={batch_count:5d} none={none_seconds:8.3f}s "
+          f"empty={row['empty_overhead_pct']:+5.1f}% "
+          f"crash={row['crash_overhead_pct']:+5.1f}% "
+          f"requeued={requeued}")
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -289,6 +340,9 @@ def main(argv=None):
         "scenarios": rows,
         #: Non-gating: share-vector placement cost at 2 vs 3 devices.
         "device_scaling": device_rows,
+        #: Non-gating: fault-threading cost (empty timeline) and
+        #: re-queue cost (live crash) vs the faultless run.
+        "fault_overhead": fault_overhead_row(),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -16,7 +16,13 @@ Platform* (HPCA 2018).  The package provides:
 - :mod:`repro.core` — NFCompass itself: SFC parallelization, NF
   synthesis, and graph-partition-based task allocation;
 - :mod:`repro.baselines` — FastClick/NBA/CPU-only/GPU-only baselines;
-- :mod:`repro.experiments` — one harness per paper table/figure.
+- :mod:`repro.experiments` — one harness per paper table/figure;
+- :mod:`repro.faults` — fault injection and degradation-aware
+  re-deployment (:class:`ResilientRuntime`).
+
+Every epoch-driven loop — :class:`AdaptiveRuntime`,
+:class:`MultiTenantScheduler`, :class:`ResilientRuntime` — implements
+the :class:`Runtime` protocol (``step``/``plan``/``session``).
 """
 
 from repro.core.adaptation import AdaptiveRuntime
@@ -28,8 +34,10 @@ from repro.core.compass import (
 )
 from repro.core.multi import MultiTenantScheduler
 from repro.core.orchestrator import SFCOrchestrator
+from repro.core.runtime import EpochResult, Runtime
 from repro.core.synthesizer import NFSynthesizer
 from repro.core.allocator import GraphTaskAllocator
+from repro.faults import FaultSpec, FaultTimeline, ResilientRuntime
 from repro.nf.catalog import NF_CATALOG, make_nf
 from repro.hw.platform import PlatformSpec
 from repro.obs import Trace, use_trace
@@ -37,7 +45,7 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 # Imported after __version__: the runner's fingerprints fold the
 # package version into every cache key.
@@ -53,6 +61,9 @@ __all__ = [
     "AdaptiveRuntime",
     "CompassPlan",
     "DeploymentResult",
+    "EpochResult",
+    "FaultSpec",
+    "FaultTimeline",
     "GraphTaskAllocator",
     "MultiTenantScheduler",
     "NFCompass",
@@ -60,7 +71,9 @@ __all__ = [
     "NF_CATALOG",
     "PlatformSpec",
     "ProfileConfig",
+    "ResilientRuntime",
     "ResultCache",
+    "Runtime",
     "SFCOrchestrator",
     "SimulationEngine",
     "SimulationSession",

@@ -1,0 +1,51 @@
+"""Retired-API escape hatch.
+
+Warn-once deprecation shims retire on a schedule: after one release of
+warning they raise by default, and ``REPRO_LEGACY_API=1`` in the
+environment re-enables them (still warning once) for callers that need
+one more release to migrate.  The flag is read at *call* time, so test
+suites can flip it per-test with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Set
+
+#: Environment variable that re-enables retired shims.
+LEGACY_API_ENV = "REPRO_LEGACY_API"
+
+_warned: Set[str] = set()
+
+
+class LegacyAPIError(RuntimeError):
+    """A retired compatibility shim was used without the escape hatch."""
+
+
+def legacy_api_enabled() -> bool:
+    """Whether retired shims are re-enabled via the environment."""
+    return os.environ.get(LEGACY_API_ENV) == "1"
+
+
+def legacy_shim(name: str, replacement: str, *,
+                stacklevel: int = 3) -> None:
+    """Gate one retired shim: raise by default, warn once when enabled.
+
+    ``name`` identifies the shim (used for the warn-once set);
+    ``replacement`` tells the caller what to migrate to.
+    """
+    if not legacy_api_enabled():
+        raise LegacyAPIError(
+            f"{name} was retired; use {replacement}. "
+            f"Set {LEGACY_API_ENV}=1 to re-enable it for one more "
+            "release while migrating."
+        )
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name} is deprecated (kept alive by {LEGACY_API_ENV}=1); "
+        f"use {replacement}",
+        DeprecationWarning, stacklevel=stacklevel,
+    )

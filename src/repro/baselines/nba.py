@@ -81,11 +81,9 @@ class NBABaseline(BaselineSystem):
             element = graph.element(node)
             ratio = self._isolated_best_ratio(element, stats)
             if ratio > 0:
-                placements[node] = Placement(
-                    cpu_processor=next(rr_core),
-                    gpu_processor=next(rr_gpu),
-                    offload_ratio=ratio,
+                placements[node] = Placement.split(
+                    next(rr_core), next(rr_gpu), ratio
                 )
             else:
-                placements[node] = Placement(cpu_processor=next(rr_core))
+                placements[node] = Placement.split(next(rr_core))
         return Mapping(placements)

@@ -142,13 +142,11 @@ class ExhaustiveOptimalBaseline(BaselineSystem):
         for node in graph.topological_order():
             ratio = ratios.get(node, 0.0)
             if ratio > 0:
-                placements[node] = Placement(
-                    cpu_processor=next(rr_core),
-                    gpu_processor=next(rr_gpu),
-                    offload_ratio=ratio,
+                placements[node] = Placement.split(
+                    next(rr_core), next(rr_gpu), ratio
                 )
             else:
-                placements[node] = Placement(cpu_processor=next(rr_core))
+                placements[node] = Placement.split(next(rr_core))
         return Mapping(placements)
 
     def _offloadable_nodes(self, graph: ElementGraph) -> List[str]:

@@ -81,6 +81,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               f"(default {DEFAULT_CACHE_DIR!r} when "
                               "caching is enabled)")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the seeded device-fault chaos grid through "
+             "ResilientRuntime",
+    )
+    chaos.add_argument("--full", action="store_true",
+                       help="full scale (default: quick)")
+    chaos.add_argument("--seeds", type=int, default=4, metavar="N",
+                       help="fault seeds per chain (default 4)")
+    chaos.add_argument("--trace", metavar="PATH", default=None,
+                       help="write an NDJSON observability trace of "
+                            "the chaos run to PATH")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for sweep execution "
+                            "(default 1: serial)")
+    chaos.add_argument("--no-cache", action="store_true",
+                       help="disable the sweep result cache")
+    chaos.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="persist cached sweep results under PATH "
+                            f"(default {DEFAULT_CACHE_DIR!r} when "
+                            "caching is enabled)")
+
     deploy = subparsers.add_parser(
         "deploy", help="deploy a chain with NFCompass and simulate it"
     )
@@ -236,6 +258,35 @@ def _cmd_experiments_run(name: str, full: bool,
     if trace is not None:
         trace.write_ndjson(trace_path)
         print(f"trace: {len(trace.spans)} spans -> {trace_path}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.experiments.common import make_runner
+    from repro.faults import chaos
+    from repro.obs import Trace, use_trace
+
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    runner = make_runner(jobs=args.jobs, use_cache=not args.no_cache,
+                         cache_dir=args.cache_dir)
+    trace = Trace(name="chaos") if args.trace else None
+    with (use_trace(trace) if trace is not None
+          else contextlib.nullcontext()):
+        rows = chaos.run(quick=not args.full,
+                         seeds=range(args.seeds),
+                         jobs=args.jobs, runner=runner)
+    print(chaos.render(rows))
+    if trace is not None:
+        trace.write_ndjson(args.trace)
+        print(f"trace: {len(trace.spans)} spans -> {args.trace}")
+    violations = [r for r in rows if not r.conserved]
+    if violations:
+        # The chaos grid is a regression gate, not just a report.
+        print(f"chaos: {len(violations)} conservation violation(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -469,6 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                     jobs=args.jobs,
                                     no_cache=args.no_cache,
                                     cache_dir=args.cache_dir)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "deploy":
         return _cmd_deploy(args)
     if args.command == "platform":

@@ -21,11 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.compass import CompassPlan, NFCompass, ProfileConfig
+from repro.core.runtime import EpochResult
 from repro.nf.base import ServiceFunctionChain
 from repro.obs import resolve_trace
 from repro.sim.engine import BranchProfile
 from repro.sim.kernel import SimulationSession
-from repro.sim.metrics import ThroughputLatencyReport
 from repro.traffic.generator import TrafficSpec
 
 
@@ -69,16 +69,6 @@ class TrafficDescriptor:
                              for p in ports) / 2.0
             fraction_drift = total / len(common)
         return size_drift + profile_drift + fraction_drift
-
-
-@dataclass
-class EpochResult:
-    """Outcome of one adaptation epoch."""
-
-    epoch: int
-    report: ThroughputLatencyReport
-    drift: float
-    replanned: bool
 
 
 class AdaptiveRuntime:
@@ -159,6 +149,12 @@ class AdaptiveRuntime:
                              drift=drift, replanned=replanned)
         self.history.append(result)
         return result
+
+    def step(self, spec: TrafficSpec,
+             batch_count: int = 80) -> EpochResult:
+        """The :class:`~repro.core.runtime.Runtime` protocol entry
+        point; alias of :meth:`run_epoch`."""
+        return self.run_epoch(spec, batch_count=batch_count)
 
     def run(self, epochs: List[TrafficSpec],
             batch_count: int = 80) -> List[EpochResult]:

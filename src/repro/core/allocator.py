@@ -89,17 +89,24 @@ class GraphTaskAllocator:
         self.cpu_cores = cpu_cores or self.platform.cpu_processor_ids(
             min(6, self.platform.total_cores)
         )
-        self.gpus = gpus or self.platform.gpu_processor_ids()
+        # An explicit empty list means "no GPUs" (a resilience replan
+        # after a GPU crash), not "use the platform default".
+        self.gpus = (list(gpus) if gpus is not None
+                     else self.platform.gpu_processor_ids())
         self.persistent_kernel = persistent_kernel
         # Offload device groups (kind -> instance ids).  Platforms
         # whose only offload devices are the built-in GPUs take the
         # specialized binary CPU/GPU path; anything else (data-defined
-        # extra devices) goes through the multiway partitioners.
+        # extra devices) goes through the multiway partitioners; a
+        # platform with no healthy offload devices at all takes the
+        # trivial host-only path.
         self.offload_devices: Dict[str, List[str]] = \
             self.platform.offload_device_groups()
-        if gpus is not None:
-            self.offload_devices["gpu"] = list(gpus)
+        self.offload_devices["gpu"] = list(self.gpus)
+        self.offload_devices = {group: ids for group, ids
+                                in self.offload_devices.items() if ids}
         self.multiway = set(self.offload_devices) not in ({"gpu"}, set())
+        self.host_only = not self.offload_devices
 
     # ------------------------------------------------------------------
     def allocate(self, graph: ElementGraph, spec: TrafficSpec,
@@ -129,7 +136,9 @@ class GraphTaskAllocator:
 
             with trace.span("partition",
                             algorithm=self.algorithm) as span:
-                if self.multiway:
+                if self.host_only:
+                    partition = self._partition_host_only(expanded)
+                elif self.multiway:
                     partition = self._partition_multiway(expanded,
                                                          trace=trace)
                 elif self.algorithm == "kl":
@@ -294,6 +303,35 @@ class GraphTaskAllocator:
             ) / full_transfer
         pgraph.graph["link_costs"] = link_costs
 
+    def _partition_host_only(self, expanded: ExpandedGraph
+                             ) -> PartitionResult:
+        """The trivial partition when no offload device is available.
+
+        A resilience replan can shrink the healthy device set to
+        nothing (every GPU crashed, no SmartNIC); the chain must still
+        deploy, so every virtual instance lands on the host side and
+        the objective reduces to the CPU pipeline bottleneck.
+        """
+        pgraph = expanded.pgraph
+        cpu_nodes = set(pgraph.nodes)
+        cpu_load = sum(pgraph.nodes[n].get("cpu_time", 0.0)
+                       for n in cpu_nodes)
+        heaviest = max(
+            (pgraph.nodes[n].get("cpu_time", 0.0) for n in cpu_nodes),
+            default=0.0,
+        )
+        objective = max(heaviest,
+                        cpu_load / max(1, len(self.cpu_cores)))
+        return PartitionResult(
+            cpu_nodes=cpu_nodes,
+            gpu_nodes=set(),
+            objective=objective,
+            cut_weight=0.0,
+            cpu_load=cpu_load,
+            gpu_load=0.0,
+            algorithm=f"{self.algorithm}:host-only",
+        )
+
     def _partition_multiway(self, expanded: ExpandedGraph,
                             trace=None) -> PartitionResult:
         groups = [HOST_GROUP] + list(self.offload_devices)
@@ -382,10 +420,8 @@ class GraphTaskAllocator:
             if ratio > 0:
                 gpu_processor = self.gpus[gpu_cycle % len(self.gpus)]
                 gpu_cycle += 1
-            placements[node_id] = Placement(
-                cpu_processor=core_assignment[node_id],
-                gpu_processor=gpu_processor,
-                offload_ratio=ratio,
+            placements[node_id] = Placement.split(
+                core_assignment[node_id], gpu_processor, ratio
             )
         return Mapping(placements), core_assignment, core_loads
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compass import CompassPlan, NFCompass
+from repro.core.runtime import EpochResult
 from repro.hw.interference import InterferenceModel
 from repro.hw.platform import PlatformSpec
 from repro.nf.base import ServiceFunctionChain
@@ -60,6 +61,7 @@ class MultiTenantScheduler:
         self.cores_per_tenant = cores_per_tenant
         self.compass_kwargs = compass_kwargs
         self.tenants: List[Tenant] = []
+        self._epochs = 0
 
     # ------------------------------------------------------------------
     def deploy(self, workloads: Sequence[Tuple[str, ServiceFunctionChain,
@@ -149,6 +151,39 @@ class MultiTenantScheduler:
                 **inputs,
             )
         return reports
+
+    # ------------------------------------------------------------------
+    # Runtime protocol
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[CompassPlan]:
+        """The primary (first-deployed) tenant's plan, for the
+        :class:`~repro.core.runtime.Runtime` protocol."""
+        return self.tenants[0].plan if self.tenants else None
+
+    @property
+    def session(self):
+        """The primary tenant's simulation session (``None`` until the
+        deploy-time capacity race builds one)."""
+        plan = self.plan
+        return plan.session if plan is not None else None
+
+    def step(self, spec: Optional[TrafficSpec] = None,
+             batch_count: int = 80) -> EpochResult:
+        """One co-run round over every tenant, as a Runtime epoch.
+
+        ``spec`` is accepted for protocol compatibility but ignored —
+        each tenant runs its own admitted traffic.  The returned
+        report is the *bottleneck* tenant's (lowest throughput under
+        interference), the number multi-tenant consolidation decisions
+        hinge on.
+        """
+        self._epochs += 1
+        reports = self.run(batch_count=batch_count)
+        bottleneck = min(reports.values(),
+                         key=lambda r: r.throughput_gbps)
+        return EpochResult(epoch=self._epochs, report=bottleneck,
+                           drift=0.0, replanned=False)
 
     def consolidation_report(self, batch_size: int = 64,
                              batch_count: int = 100

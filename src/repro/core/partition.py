@@ -32,12 +32,12 @@ while minimizing communication costs".
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro._compat import legacy_shim
 from repro.obs import resolve_trace
 
 #: How much of the PCIe cut contributes to the per-batch makespan.
@@ -47,8 +47,6 @@ CUT_PIPELINE_FACTOR = 0.5
 
 #: The device group holding the CPU cores (never charged link costs).
 HOST_GROUP = "cpu"
-
-_warned_side_of = False
 
 
 @dataclass
@@ -106,15 +104,13 @@ class PartitionResult:
         )
 
     def side_of(self, node: str) -> str:
-        """Deprecated alias for :meth:`group_of`."""
-        global _warned_side_of
-        if not _warned_side_of:
-            _warned_side_of = True
-            warnings.warn(
-                "PartitionResult.side_of is deprecated; use "
-                "PartitionResult.group_of",
-                DeprecationWarning, stacklevel=2,
-            )
+        """Retired alias for :meth:`group_of`.
+
+        Raises :class:`~repro._compat.LegacyAPIError` unless
+        ``REPRO_LEGACY_API=1`` is set.
+        """
+        legacy_shim("PartitionResult.side_of",
+                    "PartitionResult.group_of", stacklevel=2)
         return self.group_of(node)
 
 

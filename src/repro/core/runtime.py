@@ -1,0 +1,65 @@
+"""The unified runtime surface.
+
+Three epoch-driven runtimes grew up independently —
+:class:`~repro.core.adaptation.AdaptiveRuntime` (traffic drift),
+:class:`~repro.core.multi.MultiTenantScheduler` (co-run interference)
+and :class:`~repro.faults.runtime.ResilientRuntime` (device faults).
+This module extracts the surface they share:
+
+- ``step(spec, batch_count) -> EpochResult`` — process one traffic
+  epoch, re-planning first when the runtime's trigger fires;
+- ``plan`` — the currently deployed
+  :class:`~repro.core.compass.CompassPlan` (or plans);
+- ``session`` — the reusable
+  :class:`~repro.sim.kernel.SimulationSession` simulating it.
+
+:class:`EpochResult` (moved here from :mod:`repro.core.adaptation`,
+which re-exports it) is the common step outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.sim.metrics import ThroughputLatencyReport
+from repro.traffic.generator import TrafficSpec
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one runtime epoch.
+
+    ``drift`` carries the runtime's replan trigger score: traffic
+    drift for the adaptive runtime, 0.0 where the trigger is not
+    drift-based (fault-driven replans).
+    """
+
+    epoch: int
+    report: ThroughputLatencyReport
+    drift: float
+    replanned: bool
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """What every epoch-driven runtime exposes.
+
+    ``runtime_checkable``: ``isinstance(obj, Runtime)`` verifies the
+    members exist (not their signatures), which is what the API
+    surface tests assert for the three implementations.
+    """
+
+    #: The currently deployed plan (or, for multi-tenant runtimes, the
+    #: primary tenant's plan).
+    plan: object
+    #: The simulation session evaluating the current plan.
+    session: object
+
+    def step(self, spec: TrafficSpec,
+             batch_count: int = 80) -> EpochResult:
+        """Process one traffic epoch, re-planning first if needed."""
+        ...
+
+
+__all__ = ["EpochResult", "Runtime"]

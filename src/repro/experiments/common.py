@@ -97,13 +97,11 @@ def dedicated_core_mapping(graph: ElementGraph, offload_ratio: float = 0.0,
         core = next(cores)
         if (isinstance(element, OffloadableElement) and element.offloadable
                 and offload_ratio > 0.0):
-            placements[node] = Placement(
-                cpu_processor=core,
-                gpu_processor=next(gpu_cycle),
-                offload_ratio=offload_ratio,
+            placements[node] = Placement.split(
+                core, next(gpu_cycle), offload_ratio
             )
         else:
-            placements[node] = Placement(cpu_processor=core)
+            placements[node] = Placement.split(core)
     return Mapping(placements)
 
 

@@ -1,0 +1,29 @@
+"""Fault injection and resilience.
+
+- :mod:`repro.faults.spec` — declarative :class:`FaultSpec` /
+  :class:`FaultTimeline` schedules the event kernel consumes;
+- :mod:`repro.faults.runtime` — :class:`ResilientRuntime`, the
+  degradation-aware re-deployment loop;
+- :mod:`repro.faults.chaos` — the seeded chaos sweep harness behind
+  ``repro chaos``.
+"""
+
+from repro.faults.spec import (
+    DEFAULT_REQUEUE_PENALTY,
+    FAULT_KINDS,
+    FaultSpec,
+    FaultTimeline,
+    empty_timeline,
+    single_crash,
+)
+from repro.faults.runtime import ResilientRuntime
+
+__all__ = [
+    "DEFAULT_REQUEUE_PENALTY",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultTimeline",
+    "ResilientRuntime",
+    "empty_timeline",
+    "single_crash",
+]

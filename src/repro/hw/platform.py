@@ -206,6 +206,33 @@ class PlatformSpec:
         """The platform plus a data-defined SmartNIC offload engine."""
         return self.with_devices(smartnic_device(device_id, **overrides))
 
+    def without_devices(self, *device_ids: str) -> "PlatformSpec":
+        """A copy of the platform with extra devices removed.
+
+        The resilience layer uses this to shrink the inventory when a
+        data-defined offload device fails.  Unknown ids raise the same
+        structured ``KeyError`` as :meth:`device`; built-in CPU/GPU ids
+        cannot be removed here (exclude GPUs by passing an explicit
+        ``gpus=`` list to the allocator instead).
+        """
+        known = {d.device_id for d in self.extra_devices}
+        for device_id in device_ids:
+            if device_id in known:
+                continue
+            if device_id in self.device_ids():
+                raise ValueError(
+                    f"{device_id!r} is a built-in processor; only "
+                    "extra devices can be removed from the inventory"
+                )
+            raise KeyError(
+                f"unknown device id {device_id!r}; platform devices: "
+                f"{self.device_ids()}"
+            )
+        drop = set(device_ids)
+        return replace(self, extra_devices=tuple(
+            d for d in self.extra_devices if d.device_id not in drop
+        ))
+
     def describe_devices(self) -> str:
         """One line per device (the ``repro platform show`` payload)."""
         return "\n".join(device.describe() for device in self.devices())

@@ -353,6 +353,12 @@ class SimulationSession:
         #: Completed :meth:`run` calls; runs after the first reuse the
         #: cached invariants above (counted as ``session.cache_hits``).
         self.runs_completed = 0
+        #: Fault accounting of the most recent :meth:`run`: ``None``
+        #: when the run had no (or an empty) fault timeline, else a
+        #: dict with ``requeued_batches``/``requeued_packets``/
+        #: ``requeue_seconds``/``degraded_transfers``/
+        #: ``slowed_kernels``.
+        self.last_fault_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def _branch_tables(self, profile):
@@ -381,7 +387,8 @@ class SimulationSession:
             cpu_time_inflation: float = 1.0,
             co_run_pressure_bytes: float = 0.0,
             gpu_corun_kernels: int = 0,
-            recorder=None, trace=None) -> ThroughputLatencyReport:
+            recorder=None, trace=None,
+            faults=None) -> ThroughputLatencyReport:
         """Simulate ``batch_count`` batches of ``batch_size`` packets.
 
         ``cpu_time_inflation``, ``co_run_pressure_bytes`` and
@@ -393,6 +400,15 @@ class SimulationSession:
         ``simulate`` span (the hot loop itself is never instrumented);
         when a recorder is also present its per-node activity is
         bridged into the trace as simulated-time child spans.
+
+        ``faults`` is an optional
+        :class:`~repro.faults.FaultTimeline` over the run's simulated
+        clock: offload legs whose execution window intersects a crash
+        are re-queued to the host core (with the timeline's
+        ``requeue_penalty``), degraded links stretch DMA slot
+        durations, and slowdown windows stretch kernel time.  With no
+        timeline (or an empty one) the fault path is never entered and
+        the schedule is bit-identical to a fault-free run.
         """
         trace = resolve_trace(trace)
         with trace.span("simulate", deployment=self.deployment.name,
@@ -401,12 +417,20 @@ class SimulationSession:
             report = self._run(spec, batch_size, batch_count,
                                branch_profile, cpu_time_inflation,
                                co_run_pressure_bytes, gpu_corun_kernels,
-                               recorder)
+                               recorder, faults)
         self.runs_completed += 1
         if self.runs_completed > 1:
             trace.count("session.cache_hits")
         trace.count("sim.runs")
         trace.count("sim.batches", batch_count)
+        stats = self.last_fault_stats
+        if stats is not None:
+            trace.count("fault.requeued_batches",
+                        stats["requeued_batches"])
+            trace.count("fault.degraded_transfers",
+                        stats["degraded_transfers"])
+            trace.count("fault.slowed_kernels",
+                        stats["slowed_kernels"])
         if recorder is not None and trace.enabled:
             self._bridge_recorder(trace, recorder, sim_span.span_id)
         return report
@@ -414,10 +438,21 @@ class SimulationSession:
     def _run(self, spec: TrafficSpec, batch_size: int, batch_count: int,
              branch_profile, cpu_time_inflation: float,
              co_run_pressure_bytes: float, gpu_corun_kernels: int,
-             recorder) -> ThroughputLatencyReport:
+             recorder, faults=None) -> ThroughputLatencyReport:
         if branch_profile is None:
             from repro.sim.engine import BranchProfile
             branch_profile = BranchProfile()
+        if faults is not None and faults.is_empty:
+            # An empty timeline takes the exact fault-free code path,
+            # keeping the schedule bit-identical to faults=None.
+            faults = None
+        self.last_fault_stats = None if faults is None else {
+            "requeued_batches": 0,
+            "requeued_packets": 0.0,
+            "requeue_seconds": 0.0,
+            "degraded_transfers": 0,
+            "slowed_kernels": 0,
+        }
         timeline = ResourceTimeline()
         overheads = OverheadBreakdown()
         drops, fan_out = self._branch_tables(branch_profile)
@@ -453,7 +488,7 @@ class SimulationSession:
                 completion = self._service_step(
                     plan, ready, packets, mean_bytes, spec, timeline,
                     overheads, cpu_time_inflation, co_run_pressure_bytes,
-                    gpu_corun_kernels,
+                    gpu_corun_kernels, faults,
                 )
                 if recorder is not None:
                     recorder.record_node(batch_index, node_id, ready,
@@ -545,7 +580,8 @@ class SimulationSession:
                       overheads: OverheadBreakdown,
                       cpu_time_inflation: float,
                       co_run_pressure_bytes: float,
-                      gpu_corun_kernels: int) -> float:
+                      gpu_corun_kernels: int,
+                      faults=None) -> float:
         """Schedule one node's service; return its completion time."""
         host_packets = packets * plan.host_share
 
@@ -570,7 +606,8 @@ class SimulationSession:
                 leg_end = self._offload_step(plan, leg, ready,
                                              leg_packets, mean_bytes,
                                              spec, timeline, overheads,
-                                             gpu_corun_kernels)
+                                             gpu_corun_kernels,
+                                             cpu_time_inflation, faults)
                 completion = max(completion, leg_end)
 
         if plan.needs_partial_merge:
@@ -596,7 +633,9 @@ class SimulationSession:
                       mean_bytes: float, spec: TrafficSpec,
                       timeline: ResourceTimeline,
                       overheads: OverheadBreakdown,
-                      gpu_corun_kernels: int) -> float:
+                      gpu_corun_kernels: int,
+                      cpu_time_inflation: float = 1.0,
+                      faults=None) -> float:
         stats = BatchStats(
             batch_size=max(1, round(leg_packets)),
             mean_packet_bytes=mean_bytes,
@@ -607,23 +646,79 @@ class SimulationSession:
             persistent_kernel=self.deployment.persistent_kernel,
             co_running_kernels=gpu_corun_kernels,
         )
+        h2d = timing.h2d if leg.pays_h2d else 0.0
+        d2h = timing.d2h if leg.pays_d2h else 0.0
+        kernel_service = timing.kernel
+        if faults is not None:
+            # Decide the batch's fate against the *estimated* execution
+            # window.  The estimate ignores queueing (the real window
+            # can start later), trading exactness for a deterministic
+            # decision made before any slot is committed — peeking the
+            # timeline would entangle fault decisions with resource
+            # occupancy and break batch-order independence.
+            window_end = ready + h2d + timing.launch + kernel_service \
+                + d2h
+            if faults.crashed_during(leg.device_id, ready, window_end):
+                return self._requeue_step(plan, leg, ready, leg_packets,
+                                          mean_bytes, spec, timeline,
+                                          overheads, cpu_time_inflation,
+                                          faults)
+            stretch = faults.link_stretch(leg.device_id, ready)
+            if stretch > 1.0 and (h2d > 0 or d2h > 0):
+                h2d *= stretch
+                d2h *= stretch
+                self.last_fault_stats["degraded_transfers"] += 1
+            slow = faults.slowdown(leg.device_id, ready)
+            if slow > 1.0:
+                kernel_service *= slow
+                self.last_fault_stats["slowed_kernels"] += 1
         clock = ready
-        if leg.pays_h2d and timing.h2d > 0:
+        if h2d > 0:
             _start, clock = timeline.schedule(leg.h2d_resource, clock,
-                                              timing.h2d)
-            overheads.pcie_transfer += timing.h2d
+                                              h2d)
+            overheads.pcie_transfer += h2d
 
-        kernel_time = timing.launch + timing.kernel
+        kernel_time = timing.launch + kernel_service
         _start, clock = timeline.schedule(leg.device_id, clock,
                                           kernel_time)
         overheads.kernel_launch += timing.launch
-        overheads.gpu_kernel += timing.kernel
+        overheads.gpu_kernel += kernel_service
 
-        if leg.pays_d2h and timing.d2h > 0:
+        if d2h > 0:
             _start, clock = timeline.schedule(leg.d2h_resource, clock,
-                                              timing.d2h)
-            overheads.pcie_transfer += timing.d2h
+                                              d2h)
+            overheads.pcie_transfer += d2h
         return clock
+
+    def _requeue_step(self, plan: _NodePlan, leg: _OffloadLeg,
+                      ready: float, leg_packets: float,
+                      mean_bytes: float, spec: TrafficSpec,
+                      timeline: ResourceTimeline,
+                      overheads: OverheadBreakdown,
+                      cpu_time_inflation: float, faults) -> float:
+        """Service a crashed leg's batch share on the host core.
+
+        The re-queued batch pays the host service time scaled by the
+        timeline's ``requeue_penalty`` (re-submission, cold caches, no
+        device batching) and never touches the crashed device or its
+        DMA lanes — a device crashed for a whole run therefore shows
+        zero busy time.
+        """
+        stats = BatchStats(
+            batch_size=max(1, round(leg_packets)),
+            mean_packet_bytes=mean_bytes,
+            match_profile=spec.match_profile,
+        )
+        service = self.cost.cpu_batch_seconds(plan.element, stats) \
+            * cpu_time_inflation * faults.requeue_penalty
+        _start, completion = timeline.schedule(plan.host_resource,
+                                               ready, service)
+        overheads.cpu_compute += service
+        stats_dict = self.last_fault_stats
+        stats_dict["requeued_batches"] += 1
+        stats_dict["requeued_packets"] += leg_packets
+        stats_dict["requeue_seconds"] += service
+        return completion
 
     def _split_step(self, plan: _NodePlan, connected: int,
                     survivors: float, mean_bytes: float,

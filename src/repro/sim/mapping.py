@@ -3,10 +3,12 @@
 A :class:`Placement` assigns one element a *share vector* over device
 ids: each entry is the fraction of every batch serviced on that
 device.  The paper's binary special case — a CPU core plus a
-ratio-split GPU — is the two-entry vector, and the legacy
-``(cpu_processor, gpu_processor, offload_ratio)`` constructor keyword
-triple still builds exactly that (the fields remain readable under a
-:class:`DeprecationWarning`).  A :class:`Mapping` assigns every node
+ratio-split GPU — is the two-entry vector, built by
+:meth:`Placement.split`.  The retired
+``(cpu_processor, gpu_processor, offload_ratio)`` constructor triple
+raises :class:`~repro._compat.LegacyAPIError` unless the
+``REPRO_LEGACY_API=1`` escape hatch is set.  A :class:`Mapping`
+assigns every node
 of a graph; a :class:`Deployment` bundles graph + mapping + execution
 options and is what the :class:`~repro.sim.engine.SimulationEngine`
 runs.
@@ -19,6 +21,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping as MappingABC, Optional
 
+from repro._compat import legacy_shim
 from repro.elements.graph import ElementGraph
 from repro.elements.offload import OffloadableElement
 from repro.hw.device import DEFAULT_HOST_DEVICE
@@ -52,11 +55,14 @@ class Placement:
     the whole batch is offloaded — the completion-handling core of the
     paper's GPU-only placements.
 
-    The legacy triple keywords build the binary vector::
+    :meth:`split` builds the binary vector::
 
-        Placement(cpu_processor="cpu3", gpu_processor="gpu0",
-                  offload_ratio=0.3)
+        Placement.split("cpu3", "gpu0", 0.3)
         # == Placement(shares={"cpu3": 0.7, "gpu0": 0.3}, host="cpu3")
+
+    The retired constructor triple (``cpu_processor=`` /
+    ``gpu_processor=`` / ``offload_ratio=``) raises unless
+    ``REPRO_LEGACY_API=1`` is set.
     """
 
     __slots__ = ("_shares", "_host", "_legacy_cpu")
@@ -75,6 +81,12 @@ class Placement:
                 )
             self._init_from_shares(dict(shares), host)
             return
+        legacy_shim(
+            "the Placement(cpu_processor=, gpu_processor=, "
+            "offload_ratio=) constructor",
+            "Placement.split(host, device, ratio) or "
+            "Placement(shares=..., host=...)",
+        )
         cpu = DEFAULT_HOST_DEVICE if cpu_processor is _UNSET \
             else cpu_processor
         if not 0.0 <= offload_ratio <= 1.0:
@@ -174,6 +186,32 @@ class Placement:
            host: Optional[str] = None) -> "Placement":
         """The whole batch on one device."""
         return cls(shares={device_id: 1.0}, host=host)
+
+    @classmethod
+    def split(cls, host: str, device: Optional[str] = None,
+              ratio: float = 0.0) -> "Placement":
+        """Binary host/device split: ``ratio`` of each batch offloaded.
+
+        The paper's CPU-core-plus-ratio-split-GPU placement;
+        ``ratio=0`` pins the element to ``host``, ``ratio=1`` is the
+        fully offloaded case with ``host`` keeping the bookkeeping.
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("offload ratio must be in [0, 1]")
+        if ratio > 0.0 and device is None:
+            raise ValueError("offloaded placement needs a device")
+        if host is None:
+            raise ValueError("split placement needs a host core")
+        self = cls.__new__(cls)
+        vector: Dict[str, float] = {}
+        if ratio < 1.0:
+            vector[host] = 1.0 - ratio
+        if ratio > 0.0:
+            vector[device] = ratio
+        self._shares = vector
+        self._host = host
+        self._legacy_cpu = host
+        return self
 
     # -- legacy binary fields (deprecated) -----------------------------
     @property
@@ -277,7 +315,7 @@ class Mapping:
         cores = list(cores)
         rr = itertools.cycle(cores)
         return cls({
-            node: Placement(cpu_processor=next(rr))
+            node: Placement.split(next(rr))
             for node in graph.topological_order()
         })
 
@@ -299,13 +337,11 @@ class Mapping:
             element = graph.element(node)
             if (isinstance(element, OffloadableElement)
                     and element.offloadable and ratio > 0.0):
-                placements[node] = Placement(
-                    cpu_processor=next(rr_core),
-                    gpu_processor=next(rr_gpu),
-                    offload_ratio=ratio,
+                placements[node] = Placement.split(
+                    next(rr_core), next(rr_gpu), ratio
                 )
             else:
-                placements[node] = Placement(cpu_processor=next(rr_core))
+                placements[node] = Placement.split(next(rr_core))
         return cls(placements)
 
     @classmethod

@@ -31,7 +31,7 @@ class TestCPUOnly:
     def test_no_gpu_in_mapping(self, sfc, spec):
         deployment = CPUOnlyBaseline().deploy(sfc, spec)
         for _node, placement in deployment.mapping.items():
-            assert not placement.uses_gpu
+            assert not placement.offloaded
 
     def test_deployment_named(self, sfc, spec):
         deployment = CPUOnlyBaseline().deploy(sfc, spec)
@@ -41,9 +41,9 @@ class TestCPUOnly:
 class TestFixedRatio:
     def test_ratio_applied_to_offloadables(self, sfc, spec):
         deployment = FixedRatioBaseline(0.7).deploy(sfc, spec)
-        ratios = {p.offload_ratio
+        ratios = {p.offload_total
                   for _n, p in deployment.mapping.items()
-                  if p.uses_gpu}
+                  if p.offloaded}
         assert ratios == {0.7}
 
     def test_invalid_ratio_rejected(self):
@@ -52,9 +52,9 @@ class TestFixedRatio:
 
     def test_gpu_only_is_ratio_one(self, sfc, spec):
         deployment = GPUOnlyBaseline().deploy(sfc, spec)
-        ratios = {p.offload_ratio
+        ratios = {p.offload_total
                   for _n, p in deployment.mapping.items()
-                  if p.uses_gpu}
+                  if p.offloaded}
         assert ratios == {1.0}
         assert deployment.name.startswith("gpu-only:")
 
@@ -70,7 +70,7 @@ class TestFastClick:
     def test_is_cpu_only(self, sfc, spec):
         deployment = FastClickBaseline().deploy(sfc, spec)
         for _node, placement in deployment.mapping.items():
-            assert not placement.uses_gpu
+            assert not placement.offloaded
         assert deployment.name.startswith("fastclick:")
 
 
@@ -78,7 +78,7 @@ class TestNBA:
     def test_offloads_heavy_elements(self, sfc, spec):
         deployment = NBABaseline().deploy(sfc, spec)
         offloaded = [n for n, p in deployment.mapping.items()
-                     if p.uses_gpu]
+                     if p.offloaded]
         assert any("encrypt" in n for n in offloaded)
 
     def test_never_offloads_stateful(self, spec):
@@ -86,12 +86,12 @@ class TestNBA:
         deployment = NBABaseline().deploy(nat_sfc, spec)
         for node, placement in deployment.mapping.items():
             if deployment.graph.element(node).is_stateful:
-                assert not placement.uses_gpu
+                assert not placement.offloaded
 
     def test_ratios_quantized(self, sfc, spec):
         deployment = NBABaseline().deploy(sfc, spec)
         for _node, placement in deployment.mapping.items():
-            ratio = placement.offload_ratio
+            ratio = placement.offload_total
             assert (ratio * 10) == pytest.approx(round(ratio * 10))
 
     def test_per_batch_launches(self, sfc, spec):

@@ -51,8 +51,7 @@ class TestDeployment:
             tenant.plan.deployment.validate()
             # Each tenant stays inside its core slice.
             for _node, placement in tenant.plan.deployment.mapping.items():
-                if placement.cpu_processor is not None:
-                    assert placement.cpu_processor in tenant.cores
+                assert placement.host in tenant.cores
 
 
 class TestInterference:

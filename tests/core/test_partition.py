@@ -135,9 +135,9 @@ class TestAgglomerative:
         assert "heavy" in result.gpu_nodes
 
 
-class TestSideOf:
-    def test_side_of(self, offload_friendly):
+class TestGroupOf:
+    def test_group_of(self, offload_friendly):
         result = kernighan_lin_partition(offload_friendly, cpu_cores=1)
         for node in offload_friendly.nodes:
-            side = result.side_of(node)
-            assert (node in result.gpu_nodes) == (side == "gpu")
+            group = result.group_of(node)
+            assert (node in result.gpu_nodes) == (group == "gpu")

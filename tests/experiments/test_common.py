@@ -35,7 +35,7 @@ class TestDedicatedCoreMapping:
             [make_nf("probe")]
         ).concatenated_graph()
         mapping = common.dedicated_core_mapping(graph)
-        cores = [p.cpu_processor for _n, p in mapping.items()]
+        cores = [p.host for _n, p in mapping.items()]
         assert len(set(cores)) == len(cores)
 
     def test_wraps_when_graph_larger_than_pool(self):
@@ -43,7 +43,7 @@ class TestDedicatedCoreMapping:
             [make_nf("probe"), make_nf("lb"), make_nf("firewall")]
         ).concatenated_graph()
         mapping = common.dedicated_core_mapping(graph, core_count=4)
-        cores = {p.cpu_processor for _n, p in mapping.items()}
+        cores = {p.host for _n, p in mapping.items()}
         assert cores <= {f"cpu{i}" for i in range(4)}
 
     def test_offload_ratio_applied(self):
@@ -51,8 +51,8 @@ class TestDedicatedCoreMapping:
             [make_nf("ipsec")]
         ).concatenated_graph()
         mapping = common.dedicated_core_mapping(graph, offload_ratio=0.6)
-        ratios = {p.offload_ratio for _n, p in mapping.items()
-                  if p.uses_gpu}
+        ratios = {p.offload_total for _n, p in mapping.items()
+                  if p.offloaded}
         assert ratios == {0.6}
 
 

@@ -1,0 +1,152 @@
+"""ResilientRuntime: health signals, replans, hysteresis, Runtime
+protocol conformance."""
+
+import pytest
+
+from repro import (
+    AdaptiveRuntime,
+    MultiTenantScheduler,
+    NFCompass,
+    ResilientRuntime,
+    Runtime,
+)
+from repro.faults import FaultSpec, FaultTimeline, empty_timeline, single_crash
+from repro.hw.platform import PlatformSpec
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.obs import Trace
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficSpec
+
+
+@pytest.fixture
+def spec():
+    return TrafficSpec(size_law=FixedSize(512), offered_gbps=40.0,
+                       seed=5)
+
+
+@pytest.fixture
+def sfc():
+    return ServiceFunctionChain([make_nf("ipsec")])
+
+
+def epoch_window(spec, batch_size=64, batch_count=40):
+    return batch_count * batch_size * spec.mean_packet_interval()
+
+
+class TestConstruction:
+    def test_rejects_unknown_fault_device(self, sfc, spec):
+        with pytest.raises(KeyError, match="tpu9"):
+            ResilientRuntime(sfc, spec, single_crash("tpu9", 0.0))
+
+    def test_rejects_negative_hysteresis(self, sfc, spec):
+        with pytest.raises(ValueError):
+            ResilientRuntime(sfc, spec, empty_timeline(),
+                             readmit_epochs=-1)
+
+    def test_initial_deploy_uses_full_inventory(self, sfc, spec):
+        runtime = ResilientRuntime(sfc, spec, empty_timeline())
+        assert runtime.healthy_devices() == runtime.offload_device_ids()
+        assert runtime.replans == 0
+
+
+class TestReplanning:
+    def test_all_gpus_crashed_degrades_to_host_only(self, sfc, spec):
+        faults = FaultTimeline([
+            FaultSpec("gpu0", "crash", 0.0),
+            FaultSpec("gpu1", "crash", 0.0),
+        ])
+        runtime = ResilientRuntime(sfc, spec, faults)
+        result = runtime.step(spec, batch_count=40)
+        assert result.replanned
+        assert runtime.excluded == {"gpu0", "gpu1"}
+        used = runtime.plan.deployment.mapping.processors_used()
+        assert all(device.startswith("cpu") for device in used)
+        # Conservation: nothing lost on the degraded deployment.
+        report = result.report
+        assert report.delivered_packets + report.dropped_packets == \
+            pytest.approx(40 * 64)
+
+    def test_single_gpu_crash_moves_work_to_survivor(self, sfc, spec):
+        runtime = ResilientRuntime(sfc, spec,
+                                   single_crash("gpu0", 0.0))
+        result = runtime.step(spec, batch_count=40)
+        assert result.replanned
+        assert runtime.healthy_devices() == ["gpu1"]
+        used = runtime.plan.deployment.mapping.processors_used()
+        assert "gpu0" not in used
+
+    def test_future_fault_does_not_replan(self, sfc, spec):
+        # The crash starts long after the first epoch's window.
+        start = 100 * epoch_window(spec)
+        runtime = ResilientRuntime(sfc, spec,
+                                   single_crash("gpu0", start))
+        result = runtime.step(spec, batch_count=40)
+        assert not result.replanned
+        assert runtime.replans == 0
+
+    def test_epoch_clock_advances(self, sfc, spec):
+        runtime = ResilientRuntime(sfc, spec, empty_timeline())
+        runtime.step(spec, batch_count=40)
+        runtime.step(spec, batch_count=40)
+        assert runtime.clock == pytest.approx(2 * epoch_window(spec))
+        assert [r.epoch for r in runtime.history] == [1, 2]
+
+
+class TestHysteresis:
+    def test_recovered_device_readmitted_after_streak(self, sfc, spec):
+        window = epoch_window(spec)
+        # Crash covers epoch 1 only; readmit_epochs=1 means one full
+        # healthy epoch of probation before the replan brings it back.
+        faults = single_crash("gpu0", 0.0, end=window * 0.5)
+        runtime = ResilientRuntime(sfc, spec, faults,
+                                   readmit_epochs=1)
+        first = runtime.step(spec, batch_count=40)
+        assert first.replanned and runtime.excluded == {"gpu0"}
+        second = runtime.step(spec, batch_count=40)
+        assert not second.replanned  # probation epoch
+        assert runtime.excluded == {"gpu0"}
+        third = runtime.step(spec, batch_count=40)
+        assert third.replanned  # re-admission
+        assert runtime.excluded == set()
+
+    def test_zero_hysteresis_readmits_immediately(self, sfc, spec):
+        window = epoch_window(spec)
+        faults = single_crash("gpu0", 0.0, end=window * 0.5)
+        runtime = ResilientRuntime(sfc, spec, faults,
+                                   readmit_epochs=0)
+        runtime.step(spec, batch_count=40)
+        second = runtime.step(spec, batch_count=40)
+        assert second.replanned
+        assert runtime.excluded == set()
+
+
+class TestObservability:
+    def test_replan_emits_span_and_counters(self, sfc, spec):
+        trace = Trace(name="resilient")
+        runtime = ResilientRuntime(sfc, spec,
+                                   single_crash("gpu0", 0.0),
+                                   trace=trace)
+        runtime.step(spec, batch_count=40)
+        assert trace.spans_named("replan")
+        counters = trace.metrics.snapshot()["counters"]
+        assert counters["fault.replans"] == 1
+        assert counters["fault.device_down"] == 1
+
+
+class TestRuntimeProtocol:
+    def test_all_three_runtimes_conform(self, sfc, spec):
+        resilient = ResilientRuntime(sfc, spec, empty_timeline())
+        adaptive = AdaptiveRuntime(NFCompass(), sfc, spec)
+        multi = MultiTenantScheduler(platform=PlatformSpec())
+        multi.deploy([("t0", sfc, spec)], batch_size=32)
+        for runtime in (resilient, adaptive, multi):
+            assert isinstance(runtime, Runtime)
+
+    def test_multi_tenant_step_reports_bottleneck(self, sfc, spec):
+        multi = MultiTenantScheduler(platform=PlatformSpec())
+        multi.deploy([("t0", sfc, spec)], batch_size=32)
+        result = multi.step(batch_count=20)
+        assert result.epoch == 1
+        assert result.report.delivered_packets > 0
+        assert multi.plan is multi.tenants[0].plan

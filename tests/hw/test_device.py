@@ -155,3 +155,56 @@ class TestPlatformInventory:
         text = PlatformSpec.small().with_smartnic().describe_devices()
         assert "gpu0" in text
         assert "nic0" in text
+
+
+class TestWithWithoutDevices:
+    def test_with_devices_appends_and_preserves_original(self):
+        base = PlatformSpec.small()
+        nic = smartnic_device("nic0")
+        grown = base.with_devices(nic)
+        assert "nic0" in grown.device_ids()
+        assert "nic0" not in base.device_ids()  # frozen copy semantics
+
+    def test_with_devices_duplicate_of_existing_extra(self):
+        platform = PlatformSpec.small().with_smartnic()
+        with pytest.raises(ValueError, match="duplicate"):
+            platform.with_devices(smartnic_device("nic0"))
+
+    def test_without_devices_removes_extra(self):
+        platform = PlatformSpec.small().with_smartnic()
+        shrunk = platform.without_devices("nic0")
+        assert "nic0" not in shrunk.device_ids()
+        assert "nic0" in platform.device_ids()
+
+    def test_without_devices_unknown_id_structured_keyerror(self):
+        platform = PlatformSpec.small()
+        with pytest.raises(KeyError) as excinfo:
+            platform.without_devices("tpu3")
+        message = str(excinfo.value)
+        assert "tpu3" in message
+        assert "gpu0" in message  # names the surviving inventory
+
+    def test_without_devices_refuses_builtin_processors(self):
+        platform = PlatformSpec.small()
+        with pytest.raises(ValueError, match="built-in"):
+            platform.without_devices("gpu0")
+        with pytest.raises(ValueError, match="built-in"):
+            platform.without_devices(DEFAULT_HOST_DEVICE)
+
+
+class TestEmptyInventory:
+    def test_no_gpus_platform_has_no_offload_groups(self):
+        platform = PlatformSpec(sockets=1, gpus=0)
+        assert platform.gpu_processor_ids() == []
+        assert platform.offload_device_groups() == {}
+
+    def test_no_gpus_device_lookup_structured_keyerror(self):
+        platform = PlatformSpec(sockets=1, gpus=0)
+        with pytest.raises(KeyError) as excinfo:
+            platform.device("gpu0")
+        assert "gpu0" in str(excinfo.value)
+
+    def test_no_gpus_plus_smartnic_offloads_via_nic(self):
+        platform = PlatformSpec(sockets=1, gpus=0).with_smartnic()
+        groups = platform.offload_device_groups()
+        assert list(groups) == [SMARTNIC_KIND]

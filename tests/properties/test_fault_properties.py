@@ -1,0 +1,100 @@
+"""Hypothesis properties of the resilience subsystem (run with
+``-m property``).
+
+Two invariants over arbitrary seeded fault schedules:
+
+- **healthy-at-assignment**: after a :class:`ResilientRuntime` epoch,
+  the active deployment never assigns work to a device whose crash
+  window covered the epoch — a device crashed for the whole run
+  accumulates zero busy seconds;
+- **conservation**: delivered + dropped packets equals the injected
+  packet count exactly, for every epoch of every schedule — re-queuing
+  neither loses nor duplicates batches.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultTimeline, ResilientRuntime
+from repro.hw.platform import PlatformSpec
+from repro.nf.base import ServiceFunctionChain
+from repro.nf.catalog import make_nf
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficSpec
+
+pytestmark = pytest.mark.property
+
+BATCH_SIZE = 32
+BATCH_COUNT = 30
+EPOCHS = 3
+
+
+def make_runtime(fault_seed, fault_rate, nf_type):
+    spec = TrafficSpec(size_law=FixedSize(512), offered_gbps=40.0,
+                       seed=9)
+    sfc = ServiceFunctionChain([make_nf(nf_type)])
+    platform = PlatformSpec()
+    horizon = (EPOCHS * BATCH_COUNT * BATCH_SIZE
+               * spec.mean_packet_interval())
+    faults = FaultTimeline.seeded(
+        fault_seed, platform.gpu_processor_ids(), horizon,
+        fault_rate=fault_rate,
+    )
+    runtime = ResilientRuntime(sfc, spec, faults, platform=platform,
+                               batch_size=BATCH_SIZE)
+    return runtime, spec, faults
+
+
+@settings(max_examples=20, deadline=None)
+@given(fault_seed=st.integers(min_value=0, max_value=10_000),
+       fault_rate=st.floats(min_value=0.5, max_value=3.0),
+       nf_type=st.sampled_from(["ipv4", "ipsec", "dpi"]))
+def test_conservation_and_healthy_assignment(fault_seed, fault_rate,
+                                             nf_type):
+    runtime, spec, faults = make_runtime(fault_seed, fault_rate,
+                                         nf_type)
+    for _ in range(EPOCHS):
+        t0 = runtime.clock
+        result = runtime.step(spec, batch_count=BATCH_COUNT)
+        t1 = runtime.clock
+        report = result.report
+
+        # Conservation per epoch: no loss, no duplication.
+        injected = float(BATCH_SIZE * BATCH_COUNT)
+        accounted = report.delivered_packets + report.dropped_packets
+        assert accounted == pytest.approx(injected, rel=1e-9)
+
+        # The plan only names devices admitted at planning time.
+        used = set(runtime.plan.deployment.mapping.processors_used())
+        assert not (used & runtime.excluded)
+
+        # A device crashed across the whole epoch does no work.
+        for device_id in runtime.offload_device_ids():
+            crashed_throughout = (
+                faults.crashed(device_id, t0)
+                and faults.crashed(device_id, t1)
+                and faults.crashed_during(device_id, t0, t1))
+            if crashed_throughout and device_id in runtime.excluded:
+                busy = report.processor_busy_seconds.get(device_id, 0.0)
+                assert busy == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(fault_seed=st.integers(min_value=0, max_value=10_000),
+       delta=st.floats(min_value=0.0, max_value=1.0))
+def test_shifted_preserves_queries(fault_seed, delta):
+    """shifted(-d) answers the same queries at t as the original at
+    t + d, for any probe time at or past the new zero."""
+    faults = FaultTimeline.seeded(fault_seed, ["gpu0", "gpu1"], 1.0,
+                                  fault_rate=2.0)
+    shifted = faults.shifted(-delta)
+    for probe in (0.0, 0.1, 0.25, 0.5, 0.9):
+        for device_id in ("gpu0", "gpu1"):
+            assert shifted.crashed(device_id, probe) == \
+                faults.crashed(device_id, probe + delta)
+            assert shifted.link_stretch(device_id, probe) == \
+                pytest.approx(faults.link_stretch(device_id,
+                                                  probe + delta))
+            assert shifted.slowdown(device_id, probe) == \
+                pytest.approx(faults.slowdown(device_id, probe + delta))

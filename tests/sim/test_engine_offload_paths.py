@@ -59,12 +59,11 @@ class TestGpuContiguity:
                     and element.offloadable:
                 gpu = "gpu0" if shared_gpu else f"gpu{gpu_index % 2}"
                 gpu_index += 1
-                placements[node] = Placement(
-                    cpu_processor=DEFAULT_HOST_DEVICE, gpu_processor=gpu,
-                    offload_ratio=1.0,
+                placements[node] = Placement.split(
+                    DEFAULT_HOST_DEVICE, gpu, 1.0
                 )
             else:
-                placements[node] = Placement(cpu_processor=DEFAULT_HOST_DEVICE)
+                placements[node] = Placement.split(DEFAULT_HOST_DEVICE)
         return Mapping(placements)
 
     def test_adjacent_gpu_elements_skip_intermediate_transfers(

@@ -84,14 +84,12 @@ def multi_gpu_scenario():
         core_index += 1
         if isinstance(element, OffloadableElement) and element.offloadable:
             ratio = 1.0 if gpu_index % 2 == 0 else 0.7
-            placements[node] = Placement(
-                cpu_processor=core,
-                gpu_processor=f"gpu{gpu_index % 2}",
-                offload_ratio=ratio,
+            placements[node] = Placement.split(
+                core, f"gpu{gpu_index % 2}", ratio
             )
             gpu_index += 1
         else:
-            placements[node] = Placement(cpu_processor=core)
+            placements[node] = Placement.split(core)
     deployment = Deployment(graph, Mapping(placements),
                             persistent_kernel=True,
                             name="golden-multigpu")

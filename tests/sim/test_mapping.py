@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro._compat import LegacyAPIError
 from repro.hw import DEFAULT_HOST_DEVICE
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
@@ -13,41 +14,70 @@ def graph():
     return ServiceFunctionChain([make_nf("ipsec")]).concatenated_graph()
 
 
-class TestPlacement:
-    def test_cpu_only_default(self):
-        placement = Placement()
-        assert not placement.uses_gpu
-        assert not placement.gpu_only
+class TestPlacementSplit:
+    def test_host_only_default(self):
+        placement = Placement.split(DEFAULT_HOST_DEVICE)
+        assert not placement.offloaded
+        assert not placement.fully_offloaded
+        assert placement.host == DEFAULT_HOST_DEVICE
 
     def test_invalid_ratio_rejected(self):
         with pytest.raises(ValueError):
-            Placement(offload_ratio=1.5)
+            Placement.split("cpu0", "gpu0", 1.5)
 
-    def test_offload_requires_gpu(self):
+    def test_offload_requires_device(self):
         with pytest.raises(ValueError):
-            Placement(offload_ratio=0.5, gpu_processor=None)
+            Placement.split("cpu0", None, 0.5)
 
-    def test_cpu_share_requires_cpu(self):
+    def test_split_requires_host(self):
         with pytest.raises(ValueError):
-            Placement(cpu_processor=None, gpu_processor="gpu0",
-                      offload_ratio=0.5)
+            Placement.split(None, "gpu0", 0.5)
 
-    def test_gpu_only(self):
-        placement = Placement(gpu_processor="gpu0", offload_ratio=1.0)
-        assert placement.uses_gpu
-        assert placement.gpu_only
+    def test_fully_offloaded_keeps_host_bookkeeping(self):
+        placement = Placement.split("cpu0", "gpu0", 1.0)
+        assert placement.offloaded
+        assert placement.fully_offloaded
+        assert placement.host == "cpu0"
+        assert placement.shares == {"gpu0": 1.0}
+
+    def test_split_matches_share_vector(self):
+        assert Placement.split("cpu3", "gpu0", 0.3) == \
+            Placement(shares={"cpu3": 0.7, "gpu0": 0.3}, host="cpu3")
+
+
+class TestLegacyConstructor:
+    def test_triple_raises_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEGACY_API", raising=False)
+        with pytest.raises(LegacyAPIError, match="Placement.split"):
+            Placement(cpu_processor="cpu3", gpu_processor="gpu0",
+                      offload_ratio=0.3)
+
+    def test_bare_constructor_is_legacy_too(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEGACY_API", raising=False)
+        with pytest.raises(LegacyAPIError):
+            Placement()
+
+    def test_triple_builds_split_under_escape_hatch(self, monkeypatch):
+        import repro._compat as compat
+        monkeypatch.setenv("REPRO_LEGACY_API", "1")
+        monkeypatch.setattr(compat, "_warned", set())
+        with pytest.deprecated_call():
+            legacy = Placement(cpu_processor="cpu3",
+                               gpu_processor="gpu0",
+                               offload_ratio=0.3)
+        assert legacy == Placement.split("cpu3", "gpu0", 0.3)
 
 
 class TestMapping:
     def test_all_cpu_round_robin(self, graph):
         mapping = Mapping.all_cpu(graph, cores=["cpu0", "cpu1"])
-        cores = {p.cpu_processor for _n, p in mapping.items()}
+        cores = {p.host for _n, p in mapping.items()}
         assert cores == {"cpu0", "cpu1"}
         mapping.validate_against(graph)
 
     def test_fixed_ratio_offloads_offloadables_only(self, graph):
         mapping = Mapping.fixed_ratio(graph, 0.5)
-        offloaded = [n for n, p in mapping.items() if p.uses_gpu]
+        offloaded = [n for n, p in mapping.items() if p.offloaded]
         assert offloaded
         for node in offloaded:
             assert graph.element(node).offloadable
@@ -55,8 +85,8 @@ class TestMapping:
     def test_all_gpu_is_full_ratio(self, graph):
         mapping = Mapping.all_gpu(graph)
         for node, placement in mapping.items():
-            if placement.uses_gpu:
-                assert placement.offload_ratio == 1.0
+            if placement.offloaded:
+                assert placement.offload_total == 1.0
 
     def test_validate_rejects_missing_nodes(self, graph):
         with pytest.raises(ValueError):
@@ -64,14 +94,14 @@ class TestMapping:
 
     def test_validate_rejects_unknown_nodes(self, graph):
         mapping = Mapping.all_cpu(graph)
-        mapping.set("ghost", Placement())
+        mapping.set("ghost", Placement.split(DEFAULT_HOST_DEVICE))
         with pytest.raises(ValueError):
             mapping.validate_against(graph)
 
     def test_validate_rejects_offloading_non_offloadable(self, graph):
         mapping = Mapping.all_cpu(graph)
         rx = graph.sources()[0]
-        mapping.set(rx, Placement(gpu_processor="gpu0", offload_ratio=0.5))
+        mapping.set(rx, Placement.split(DEFAULT_HOST_DEVICE, "gpu0", 0.5))
         with pytest.raises(ValueError):
             mapping.validate_against(graph)
 

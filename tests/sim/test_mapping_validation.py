@@ -78,32 +78,29 @@ class TestShareVectorConstruction:
         assert placement.host == "cpu2"
         assert placement.shares == {"gpu0": 1.0}
 
-    def test_legacy_triple_equals_share_vector(self):
-        legacy = Placement(cpu_processor="cpu3", gpu_processor="gpu0",
-                           offload_ratio=0.3)
+    def test_split_equals_share_vector(self):
+        split = Placement.split("cpu3", "gpu0", 0.3)
         modern = Placement(shares={"cpu3": 0.7, "gpu0": 0.3},
                            host="cpu3")
-        assert legacy == modern
-        assert hash(legacy) == hash(modern)
+        assert split == modern
+        assert hash(split) == hash(modern)
 
 
 class TestRatioEdges:
     def test_zero_ratio_is_host_only(self):
-        placement = Placement(cpu_processor="cpu1",
-                              gpu_processor="gpu0", offload_ratio=0.0)
+        placement = Placement.split("cpu1", "gpu0", 0.0)
         assert not placement.offloaded
         assert placement.devices_used() == ["cpu1"]
         assert placement.host_share == 1.0
 
     def test_one_ratio_is_fully_offloaded(self):
-        placement = Placement(gpu_processor="gpu0", offload_ratio=1.0)
+        placement = Placement.split(DEFAULT_HOST_DEVICE, "gpu0", 1.0)
         assert placement.fully_offloaded
         assert placement.devices_used() == ["gpu0"]
         assert placement.host == DEFAULT_HOST_DEVICE
 
     def test_deprecated_fields_still_read(self):
-        placement = Placement(cpu_processor="cpu1",
-                              gpu_processor="gpu0", offload_ratio=0.25)
+        placement = Placement.split("cpu1", "gpu0", 0.25)
         with pytest.warns(DeprecationWarning):
             import repro.sim.mapping as mapping_module
             mapping_module._warned_legacy_fields.discard("offload_ratio")

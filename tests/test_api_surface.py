@@ -15,6 +15,9 @@ REPRO_ALL = [
     "AdaptiveRuntime",
     "CompassPlan",
     "DeploymentResult",
+    "EpochResult",
+    "FaultSpec",
+    "FaultTimeline",
     "GraphTaskAllocator",
     "MultiTenantScheduler",
     "NFCompass",
@@ -22,7 +25,9 @@ REPRO_ALL = [
     "NF_CATALOG",
     "PlatformSpec",
     "ProfileConfig",
+    "ResilientRuntime",
     "ResultCache",
+    "Runtime",
     "SFCOrchestrator",
     "SimulationEngine",
     "SimulationSession",
