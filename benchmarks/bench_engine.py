@@ -320,6 +320,69 @@ def fault_overhead_row():
     return row
 
 
+def arrival_overhead_row():
+    """Arrival-process kernel overhead (non-gating, recorded).
+
+    Times the same cached session under the default uniform clock, an
+    explicit :class:`ConstantRate` (must ride the identical path), and
+    a sampled :class:`MMPP` schedule.  The explicit-vs-default delta
+    is the cost of threading the pluggable clock; the MMPP delta adds
+    the sampler plus the queueing the bursts actually cause.
+    """
+    import dataclasses
+
+    from repro.traffic.arrivals import MMPP, ConstantRate
+
+    deployment, spec, batch_size, batch_count = small_scenario()
+    batch_count *= 5
+    profile = BranchProfile.measure(
+        deployment.graph.clone(), spec, sample_packets=256,
+        batch_size=batch_size,
+    )
+    kwargs = dict(batch_size=batch_size, batch_count=batch_count,
+                  branch_profile=profile)
+    session = SimulationEngine().session(deployment)
+    session.run(spec, **dict(kwargs, batch_count=50))  # warm
+
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs)
+    default_seconds = time.perf_counter() - t0
+
+    explicit = dataclasses.replace(spec, arrivals=ConstantRate())
+    t0 = time.perf_counter()
+    session.run(explicit, **kwargs)
+    constant_seconds = time.perf_counter() - t0
+
+    bursty = dataclasses.replace(spec, arrivals=MMPP(seed=31))
+    t0 = time.perf_counter()
+    report = session.run(bursty, **kwargs)
+    bursty_seconds = time.perf_counter() - t0
+    peak = (session.last_traffic_stats or {}).get("peak_rate_gbps", 0.0)
+
+    row = {
+        "batch_count": batch_count,
+        "default_seconds": round(default_seconds, 6),
+        "constant_rate_seconds": round(constant_seconds, 6),
+        "mmpp_seconds": round(bursty_seconds, 6),
+        "constant_overhead_pct": round(
+            100.0 * (constant_seconds - default_seconds)
+            / default_seconds, 2),
+        "mmpp_overhead_pct": round(
+            100.0 * (bursty_seconds - default_seconds)
+            / default_seconds, 2),
+        "mmpp_peak_rate_gbps": round(peak, 3),
+        "mmpp_p99_ms": round(report.p99 * 1e3, 6),
+        "mmpp_max_queue_depth": max(report.max_queue_depth.values(),
+                                    default=0),
+    }
+    print(f"arrivals batches={batch_count:5d} "
+          f"default={default_seconds:8.3f}s "
+          f"constant={row['constant_overhead_pct']:+5.1f}% "
+          f"mmpp={row['mmpp_overhead_pct']:+5.1f}% "
+          f"peak={row['mmpp_peak_rate_gbps']:7.2f} Gbps")
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -343,6 +406,10 @@ def main(argv=None):
         #: Non-gating: fault-threading cost (empty timeline) and
         #: re-queue cost (live crash) vs the faultless run.
         "fault_overhead": fault_overhead_row(),
+        #: Non-gating: pluggable-clock threading cost (explicit
+        #: ConstantRate) and bursty-schedule cost (MMPP) vs the
+        #: default uniform clock.
+        "arrival_overhead": arrival_overhead_row(),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

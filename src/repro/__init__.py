@@ -45,7 +45,7 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # Imported after __version__: the runner's fingerprints fold the
 # package version into every cache key.

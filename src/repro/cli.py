@@ -119,6 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--algorithm", choices=("kl", "agglomerative"),
                         default="kl")
     deploy.add_argument("--seed", type=int, default=1)
+    deploy.add_argument("--arrivals",
+                        choices=("constant", "poisson", "mmpp",
+                                 "diurnal"),
+                        default="constant",
+                        help="batch arrival process (default: the "
+                             "uniform constant-rate clock)")
+    deploy.add_argument("--burst", type=float, default=4.0,
+                        metavar="FACTOR",
+                        help="mmpp ON-state rate multiple "
+                             "(default 4.0)")
+    deploy.add_argument("--duty", type=float, default=0.25,
+                        metavar="CYCLE",
+                        help="mmpp ON-state time fraction "
+                             "(default 0.25)")
+    deploy.add_argument("--arrival-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed for sampled arrival processes "
+                             "(default: the process's own)")
     deploy.add_argument("--trace", metavar="PATH", default=None,
                         help="write an NDJSON observability trace of "
                              "the deployment pipeline to PATH")
@@ -290,11 +308,29 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
-def _make_spec(packet_size: int, load: float, seed: int):
+def _make_spec(packet_size: int, load: float, seed: int, arrivals=None):
     from repro.traffic.distributions import FixedSize, IMIXSize
     from repro.traffic.generator import TrafficSpec
     size_law = FixedSize(packet_size) if packet_size else IMIXSize()
-    return TrafficSpec(size_law=size_law, offered_gbps=load, seed=seed)
+    return TrafficSpec(size_law=size_law, offered_gbps=load, seed=seed,
+                       arrivals=arrivals)
+
+
+def _make_arrivals(args):
+    """The deploy command's ``--arrivals`` process, or ``None``."""
+    from repro.traffic.arrivals import MMPP, DiurnalRamp, Poisson
+
+    if args.arrivals == "constant":
+        return None  # the spec's default clock, bit-identical path
+    if args.arrivals == "poisson":
+        return (Poisson() if args.arrival_seed is None
+                else Poisson(seed=args.arrival_seed))
+    if args.arrivals == "mmpp":
+        kwargs = {"burst_factor": args.burst, "duty_cycle": args.duty}
+        if args.arrival_seed is not None:
+            kwargs["seed"] = args.arrival_seed
+        return MMPP(**kwargs)
+    return DiurnalRamp()
 
 
 def _cmd_deploy(args) -> int:
@@ -311,7 +347,13 @@ def _cmd_deploy(args) -> int:
         return 2
     from repro.obs import NULL_TRACE, Trace
 
-    spec = _make_spec(args.packet_size, args.load, args.seed)
+    try:
+        arrivals = _make_arrivals(args)
+    except ValueError as error:
+        print(f"invalid arrival process: {error}", file=sys.stderr)
+        return 2
+    spec = _make_spec(args.packet_size, args.load, args.seed,
+                      arrivals=arrivals)
     sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
     compass = NFCompass(platform=PlatformSpec.paper_testbed(),
                         algorithm=args.algorithm)
@@ -327,6 +369,13 @@ def _cmd_deploy(args) -> int:
         utilization = report.utilization().get(bottleneck, 0.0)
         print(f"bottleneck: {bottleneck} "
               f"({utilization:.0%} busy over the makespan)")
+    if arrivals is not None:
+        print(f"arrivals: {arrivals!r}")
+    deepest = report.deepest_queue
+    if deepest is not None:
+        print(f"deepest queue: {deepest} "
+              f"(peak {report.max_queue_depth[deepest]} batches "
+              f"waiting)")
     if args.trace:
         trace.write_ndjson(args.trace)
         print(f"trace: {len(trace.spans)} spans -> {args.trace}")

@@ -26,6 +26,7 @@ from repro.nf.base import ServiceFunctionChain
 from repro.obs import resolve_trace
 from repro.sim.engine import BranchProfile
 from repro.sim.kernel import SimulationSession
+from repro.traffic.arrivals import ArrivalProcess, attach_arrivals
 from repro.traffic.generator import TrafficSpec
 
 
@@ -79,6 +80,7 @@ class AdaptiveRuntime:
                  batch_size: int = 64,
                  drift_threshold: float = 0.25,
                  cooldown_epochs: int = 1,
+                 arrivals: Optional[ArrivalProcess] = None,
                  trace=None):
         if drift_threshold <= 0:
             raise ValueError("drift threshold must be positive")
@@ -87,6 +89,9 @@ class AdaptiveRuntime:
         self.compass = compass
         self.sfc = sfc
         self.batch_size = batch_size
+        #: Runtime-level arrival process: applied (decorrelated per
+        #: epoch) to every epoch spec that has no process of its own.
+        self.arrivals = arrivals
         self.drift_threshold = drift_threshold
         self.cooldown_epochs = cooldown_epochs
         self.trace = resolve_trace(trace)
@@ -123,8 +128,15 @@ class AdaptiveRuntime:
 
     def run_epoch(self, spec: TrafficSpec,
                   batch_count: int = 80) -> EpochResult:
-        """Process one traffic epoch, re-planning first if needed."""
+        """Process one traffic epoch, re-planning first if needed.
+
+        When the runtime was built with an ``arrivals`` process and
+        the epoch's spec carries none, the epoch runs under that
+        process decorrelated for this epoch — bursty offered load
+        varies from epoch to epoch while the mean rate stays put.
+        """
         self._epoch += 1
+        spec = attach_arrivals(spec, self.arrivals, self._epoch)
         drift = self.observe_drift(spec)
         replanned = False
         if drift > self.drift_threshold and self._cooldown == 0:

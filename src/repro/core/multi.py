@@ -30,6 +30,7 @@ from repro.hw.platform import PlatformSpec
 from repro.nf.base import ServiceFunctionChain
 from repro.sim.engine import BranchProfile
 from repro.sim.metrics import ThroughputLatencyReport
+from repro.traffic.arrivals import ArrivalProcess, attach_arrivals
 from repro.traffic.generator import TrafficSpec
 
 
@@ -55,10 +56,14 @@ class MultiTenantScheduler:
     def __init__(self, platform: Optional[PlatformSpec] = None,
                  interference: Optional[InterferenceModel] = None,
                  cores_per_tenant: Optional[int] = None,
+                 arrivals: Optional[ArrivalProcess] = None,
                  **compass_kwargs):
         self.platform = platform or PlatformSpec()
         self.interference = interference or InterferenceModel()
         self.cores_per_tenant = cores_per_tenant
+        #: Runtime-level arrival process: every co-run round applies it
+        #: (decorrelated per epoch) to tenants whose spec has none.
+        self.arrivals = arrivals
         self.compass_kwargs = compass_kwargs
         self.tenants: List[Tenant] = []
         self._epochs = 0
@@ -144,8 +149,10 @@ class MultiTenantScheduler:
                        "gpu_corun_kernels": 0}
                       if isolated else self._interference_inputs(tenant))
             engine = tenant._compass.engine
+            spec = attach_arrivals(tenant.spec, self.arrivals,
+                                   self._epochs)
             reports[tenant.name] = engine.run(
-                tenant.plan.deployment, tenant.spec,
+                tenant.plan.deployment, spec,
                 batch_size=batch_size, batch_count=batch_count,
                 branch_profile=tenant.profile,
                 **inputs,

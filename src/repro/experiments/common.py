@@ -12,6 +12,7 @@ executes it through :func:`run_sweep`, which gives every experiment
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence
@@ -106,31 +107,13 @@ def dedicated_core_mapping(graph: ElementGraph, offload_ratio: float = 0.0,
 
 
 def saturated(spec: TrafficSpec) -> TrafficSpec:
-    """The same traffic at a saturating offered load."""
-    return TrafficSpec(
-        offered_gbps=SATURATING_GBPS,
-        size_law=spec.size_law,
-        protocol=spec.protocol,
-        ip_version=spec.ip_version,
-        flow_count=spec.flow_count,
-        seed=spec.seed,
-        payload_maker=spec.payload_maker,
-        match_profile=spec.match_profile,
-    )
+    """The same traffic (arrival process included) at saturating load."""
+    return dataclasses.replace(spec, offered_gbps=SATURATING_GBPS)
 
 
 def at_load(spec: TrafficSpec, gbps: float) -> TrafficSpec:
-    """The same traffic at a specific offered load."""
-    return TrafficSpec(
-        offered_gbps=gbps,
-        size_law=spec.size_law,
-        protocol=spec.protocol,
-        ip_version=spec.ip_version,
-        flow_count=spec.flow_count,
-        seed=spec.seed,
-        payload_maker=spec.payload_maker,
-        match_profile=spec.match_profile,
-    )
+    """The same traffic (arrival process included) at a specific load."""
+    return dataclasses.replace(spec, offered_gbps=gbps)
 
 
 @dataclass

@@ -2,15 +2,21 @@
 
 Not a paper figure, but the canonical queueing view the paper's
 latency numbers live in: sweep the offered load from 10 % to 110 % of
-a deployment's capacity and record mean/p99 latency.  The hockey-stick
-knee at capacity makes the Fig. 17 overload blow-ups self-explanatory,
-and comparing NFCompass's curve against a baseline shows its headroom,
-not just its operating point.
+a deployment's capacity and record mean/p50/p95/p99 latency.  The
+hockey-stick knee at capacity makes the Fig. 17 overload blow-ups
+self-explanatory, and comparing NFCompass's curve against a baseline
+shows its headroom, not just its operating point.
+
+The burstiness sweep holds the *mean* offered load at 80 % of
+capacity and varies only the arrival process (constant, Poisson,
+on-off bursty, diurnal ramp): same average rate, very different tails
+and queue depths — the reason p99 and peak backlog are first-class
+report fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
 from repro.baselines.fastclick import FastClickBaseline
@@ -19,6 +25,13 @@ from repro.experiments import common
 from repro.nf.base import ServiceFunctionChain
 from repro.nf.catalog import make_nf
 from repro.sim.engine import BranchProfile
+from repro.traffic.arrivals import (
+    MMPP,
+    ArrivalProcess,
+    ConstantRate,
+    DiurnalRamp,
+    Poisson,
+)
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficSpec
 
@@ -30,12 +43,20 @@ LOAD_FRACTIONS: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9,
                                      0.95, 1.0, 1.1, 1.3)
 
 
+#: Arrival-process modes the burstiness sweep compares (all at the
+#: same mean offered load).
+BURST_MODES: Tuple[str, ...] = ("constant", "poisson", "onoff",
+                                "diurnal")
+
+
 @dataclass
 class LoadLatencyRow:
     system: str
     load_fraction: float
     offered_gbps: float
     latency_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
     latency_p99_ms: float
 
 
@@ -45,6 +66,20 @@ class CapacityRow:
 
     system: str
     capacity_gbps: float
+
+
+@dataclass
+class BurstinessRow:
+    """One arrival process at a fixed mean load."""
+
+    mode: str
+    offered_gbps: float
+    peak_rate_gbps: float
+    latency_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    max_queue_depth: int
 
 
 def _prepare(system: str, nf_types: Sequence[str], packet_size: int,
@@ -99,7 +134,59 @@ def _latency_point(system: str, load_fraction: float,
         load_fraction=load_fraction,
         offered_gbps=loaded.offered_gbps,
         latency_ms=report.latency.mean_ms,
+        latency_p50_ms=report.latency.p50 * 1e3,
+        latency_p95_ms=report.latency.p95 * 1e3,
         latency_p99_ms=report.latency.p99 * 1e3,
+    )]
+
+
+def _arrival_process(mode: str, burst_factor: float,
+                     duty_cycle: float, seed: int) -> ArrivalProcess:
+    """The burstiness sweep's process for one mode string.
+
+    Keyed by a plain string (plus scalar burst knobs) so the sweep
+    grid stays trivially fingerprintable; the process object itself is
+    built inside the point function.
+    """
+    if mode == "constant":
+        return ConstantRate()
+    if mode == "poisson":
+        return Poisson(seed=seed)
+    if mode == "onoff":
+        return MMPP(burst_factor=burst_factor, duty_cycle=duty_cycle,
+                    seed=seed)
+    if mode == "diurnal":
+        return DiurnalRamp()
+    raise ValueError(f"unknown burstiness mode {mode!r}")
+
+
+def _burst_point(mode: str, capacity_gbps: float,
+                 nf_types: Sequence[str], packet_size: int,
+                 batch_size: int, batch_count: int,
+                 burst_factor: float, duty_cycle: float,
+                 seed: int) -> List[BurstinessRow]:
+    """One arrival process on the NFCompass deployment at 80 % load."""
+    spec, profile, session = _prepare("nfcompass", nf_types,
+                                      packet_size, batch_size)
+    process = _arrival_process(mode, burst_factor, duty_cycle, seed)
+    loaded = replace(common.at_load(spec, max(0.02, capacity_gbps * 0.8)),
+                     arrivals=process)
+    report = session.run(loaded,
+                         batch_size=batch_size,
+                         batch_count=batch_count,
+                         branch_profile=profile)
+    stats = session.last_traffic_stats or {}
+    depth = max(report.max_queue_depth.values(), default=0)
+    return [BurstinessRow(
+        mode=mode,
+        offered_gbps=loaded.offered_gbps,
+        peak_rate_gbps=stats.get("peak_rate_gbps",
+                                 loaded.offered_gbps),
+        latency_ms=report.latency.mean_ms,
+        latency_p50_ms=report.latency.p50 * 1e3,
+        latency_p95_ms=report.latency.p95 * 1e3,
+        latency_p99_ms=report.latency.p99 * 1e3,
+        max_queue_depth=depth,
     )]
 
 
@@ -147,6 +234,57 @@ def latency_sweep_spec(capacities: List[CapacityRow],
     )
 
 
+def burstiness_sweep_spec(capacities: List[CapacityRow],
+                          quick: bool = True,
+                          nf_types: Sequence[str] = ("firewall", "ids"),
+                          packet_size: int = 256,
+                          batch_size: int = 64,
+                          modes: Sequence[str] = BURST_MODES,
+                          burst_factor: float = 4.0,
+                          duty_cycle: float = 0.25,
+                          seed: int = 211) -> common.SweepSpec:
+    """Phase 3: arrival-process comparison at a fixed mean load."""
+    nfcompass = next(row.capacity_gbps for row in capacities
+                     if row.system == "nfcompass")
+    return common.SweepSpec(
+        name="load_latency.burstiness",
+        point=_burst_point,
+        row_type=BurstinessRow,
+        grid=[{"mode": mode, "capacity_gbps": nfcompass}
+              for mode in modes],
+        params={"nf_types": tuple(nf_types),
+                "packet_size": packet_size,
+                "batch_size": batch_size,
+                "batch_count": 60 if quick else 200,
+                "burst_factor": burst_factor,
+                "duty_cycle": duty_cycle,
+                "seed": seed},
+        context=common.sweep_context(),
+    )
+
+
+def run_burstiness(quick: bool = True,
+                   nf_types: Sequence[str] = ("firewall", "ids"),
+                   packet_size: int = 256,
+                   batch_size: int = 64,
+                   modes: Sequence[str] = BURST_MODES,
+                   jobs: int = 1, runner=None) -> List[BurstinessRow]:
+    """Compare arrival processes at 80 % of NFCompass capacity."""
+    capacities = common.run_sweep(
+        capacity_sweep_spec(quick=quick, nf_types=nf_types,
+                            packet_size=packet_size,
+                            batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
+    return common.run_sweep(
+        burstiness_sweep_spec(capacities, quick=quick,
+                              nf_types=nf_types,
+                              packet_size=packet_size,
+                              batch_size=batch_size, modes=modes),
+        jobs=jobs, runner=runner,
+    )
+
+
 def run(quick: bool = True,
         nf_types: Sequence[str] = ("firewall", "ids"),
         packet_size: int = 256,
@@ -184,9 +322,11 @@ def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
     from repro.experiments.plots import line_plot
     rows = run(quick=quick, jobs=jobs, runner=runner)
     table = common.format_table(
-        ["system", "load", "offered Gbps", "latency ms", "p99 ms"],
+        ["system", "load", "offered Gbps", "latency ms", "p50 ms",
+         "p95 ms", "p99 ms"],
         [[r.system, f"{r.load_fraction:.0%}", r.offered_gbps,
-          r.latency_ms, r.latency_p99_ms] for r in rows],
+          r.latency_ms, r.latency_p50_ms, r.latency_p95_ms,
+          r.latency_p99_ms] for r in rows],
         title="Latency vs offered load (extension study)",
     )
     series = {}
@@ -201,7 +341,18 @@ def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
         + ", ".join(f"{s}: {knee_sharpness(rows, s):.1f}x"
                     for s in dict.fromkeys(r.system for r in rows))
     ]
-    return table + "\n\n" + plot + "\n" + "\n".join(notes)
+    burst_rows = run_burstiness(quick=quick, jobs=jobs, runner=runner)
+    burst_table = common.format_table(
+        ["arrivals", "mean Gbps", "peak Gbps", "latency ms", "p50 ms",
+         "p95 ms", "p99 ms", "max queue"],
+        [[r.mode, r.offered_gbps, r.peak_rate_gbps, r.latency_ms,
+          r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms,
+          r.max_queue_depth] for r in burst_rows],
+        title="Burstiness at 80% mean load (same rate, different "
+              "tails)",
+    )
+    return (table + "\n\n" + plot + "\n" + "\n".join(notes)
+            + "\n\n" + burst_table)
 
 
 if __name__ == "__main__":

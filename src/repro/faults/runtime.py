@@ -31,6 +31,7 @@ from repro.hw.platform import PlatformSpec
 from repro.nf.base import ServiceFunctionChain
 from repro.obs import resolve_trace
 from repro.sim.kernel import SimulationSession
+from repro.traffic.arrivals import ArrivalProcess, attach_arrivals
 from repro.traffic.generator import TrafficSpec
 
 
@@ -50,6 +51,7 @@ class ResilientRuntime:
                  platform: Optional[PlatformSpec] = None,
                  batch_size: int = 64,
                  readmit_epochs: int = 1,
+                 arrivals: Optional[ArrivalProcess] = None,
                  trace=None,
                  **compass_kwargs):
         if readmit_epochs < 0:
@@ -59,6 +61,9 @@ class ResilientRuntime:
         self.sfc = sfc
         self.faults = faults
         self.batch_size = batch_size
+        #: Runtime-level arrival process: applied (decorrelated per
+        #: epoch) to every epoch spec that has no process of its own.
+        self.arrivals = arrivals
         self.readmit_epochs = readmit_epochs
         self.trace = resolve_trace(trace)
         self.compass_kwargs = compass_kwargs
@@ -171,6 +176,10 @@ class ResilientRuntime:
         local clock.
         """
         self._epoch += 1
+        spec = attach_arrivals(spec, self.arrivals, self._epoch)
+        # The health window is the *mean-rate* span of the epoch; a
+        # bursty process redistributes arrivals inside it but leaves
+        # the long-run rate (and so the wall-clock budget) unchanged.
         window = batch_count * self.batch_size \
             * spec.mean_packet_interval()
         t0, t1 = self.clock, self.clock + window

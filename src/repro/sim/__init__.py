@@ -9,7 +9,12 @@ merges, duplication and XOR-merging for parallel SFC branches).
 """
 
 from repro.sim.mapping import Placement, Mapping, Deployment
-from repro.sim.metrics import ThroughputLatencyReport, OverheadBreakdown
+from repro.sim.metrics import (
+    OverheadBreakdown,
+    SLO,
+    SLOViolation,
+    ThroughputLatencyReport,
+)
 from repro.sim.kernel import ResourceTimeline, SimulationSession
 from repro.sim.engine import SimulationEngine, BranchProfile
 from repro.sim.tracing import EventRecorder, NodeEvent, BatchEvent
@@ -20,6 +25,8 @@ __all__ = [
     "Deployment",
     "ThroughputLatencyReport",
     "OverheadBreakdown",
+    "SLO",
+    "SLOViolation",
     "ResourceTimeline",
     "SimulationSession",
     "SimulationEngine",

@@ -35,6 +35,7 @@ original loop intact.
 
 from __future__ import annotations
 
+import dataclasses
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
@@ -47,6 +48,7 @@ from repro.sim.metrics import (
     OverheadBreakdown,
     ThroughputLatencyReport,
 )
+from repro.traffic.arrivals import peak_rate_gbps
 from repro.traffic.generator import TrafficSpec
 
 #: Tokens smaller than this many packets are considered empty.
@@ -118,13 +120,17 @@ class ResourceTimeline:
     fields of :class:`~repro.sim.metrics.ThroughputLatencyReport`.
     """
 
-    __slots__ = ("_lanes", "busy", "queue_wait", "task_counts")
+    __slots__ = ("_lanes", "busy", "queue_wait", "task_counts", "_waits")
 
     def __init__(self):
         self._lanes: Dict[str, _Lane] = {}
         self.busy: Dict[str, float] = {}
         self.queue_wait: Dict[str, float] = {}
         self.task_counts: Dict[str, int] = {}
+        # Per-resource (ready, start) spans of tasks that had to wait;
+        # zero-wait tasks are not recorded, so the common uncongested
+        # path stays allocation-free.
+        self._waits: Dict[str, List[Tuple[float, float]]] = {}
 
     def schedule(self, resource: str, ready: float,
                  duration: float) -> Tuple[float, float]:
@@ -140,7 +146,34 @@ class ResourceTimeline:
             self.queue_wait.get(resource, 0.0) + (start - ready)
         )
         self.task_counts[resource] = self.task_counts.get(resource, 0) + 1
+        if start > ready:
+            self._waits.setdefault(resource, []).append((ready, start))
         return start, end
+
+    def max_queue_depths(self) -> Dict[str, int]:
+        """Peak number of simultaneously waiting tasks per resource.
+
+        A task waits over ``[ready, start)``; the depth of a resource
+        at time *t* is how many such half-open spans cover *t*.
+        Computed by a sweep over span endpoints (ends sort before
+        starts at ties, so back-to-back waits do not overlap).
+        Resources that never queued are omitted.
+        """
+        depths: Dict[str, int] = {}
+        for resource, spans in self._waits.items():
+            events = []
+            for ready, start in spans:
+                events.append((ready, 1))
+                events.append((start, -1))
+            events.sort(key=lambda event: (event[0], event[1]))
+            depth = 0
+            peak = 0
+            for _time, delta in events:
+                depth += delta
+                if depth > peak:
+                    peak = depth
+            depths[resource] = peak
+        return depths
 
     def resources(self) -> List[str]:
         return sorted(self._lanes)
@@ -359,6 +392,10 @@ class SimulationSession:
         #: ``requeue_seconds``/``degraded_transfers``/
         #: ``slowed_kernels``.
         self.last_fault_stats: Optional[Dict[str, float]] = None
+        #: Arrival accounting of the most recent :meth:`run`:
+        #: ``batches`` and the schedule's ``peak_rate_gbps`` (the
+        #: offered burst peak, not the delivered throughput).
+        self.last_traffic_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def _branch_tables(self, profile):
@@ -423,6 +460,11 @@ class SimulationSession:
             trace.count("session.cache_hits")
         trace.count("sim.runs")
         trace.count("sim.batches", batch_count)
+        traffic_stats = self.last_traffic_stats
+        if traffic_stats is not None:
+            trace.count("traffic.batches", traffic_stats["batches"])
+            trace.gauge("traffic.peak_rate_gbps",
+                        traffic_stats["peak_rate_gbps"])
         stats = self.last_fault_stats
         if stats is not None:
             trace.count("fault.requeued_batches",
@@ -457,7 +499,18 @@ class SimulationSession:
         overheads = OverheadBreakdown()
         drops, fan_out = self._branch_tables(branch_profile)
         mean_bytes = spec.size_law.mean()
-        inter_batch = batch_size * spec.mean_packet_interval()
+        # The arrival clock is pluggable (repro.traffic.arrivals); the
+        # default ConstantRate reproduces the historical uniform
+        # spacing bit-for-bit (golden parity suite).
+        process = spec.arrival_process
+        arrival_times = process.batch_arrivals(batch_count, batch_size,
+                                               spec)
+        horizon = process.horizon(batch_count, batch_size, spec)
+        self.last_traffic_stats = {
+            "batches": float(batch_count),
+            "peak_rate_gbps": peak_rate_gbps(arrival_times, batch_size,
+                                             spec),
+        }
 
         delivered_packets = 0.0
         delivered_bytes = 0.0
@@ -466,7 +519,7 @@ class SimulationSession:
         last_completion = 0.0
 
         for batch_index in range(batch_count):
-            arrival = batch_index * inter_batch
+            arrival = arrival_times[batch_index]
             inbox: Dict[str, List[_Token]] = {n: [] for n in self.order}
             for node in self.source_nodes:
                 inbox[node].append(_Token(ready=arrival,
@@ -519,7 +572,7 @@ class SimulationSession:
                 latencies.append(batch_completion - arrival)
                 last_completion = max(last_completion, batch_completion)
 
-        makespan = max(last_completion, inter_batch * batch_count)
+        makespan = max(last_completion, horizon)
         self.last_timeline = timeline
         return ThroughputLatencyReport(
             name=self.deployment.name,
@@ -532,6 +585,8 @@ class SimulationSession:
             overheads=overheads,
             processor_busy_seconds=dict(timeline.busy),
             processor_queue_wait_seconds=dict(timeline.queue_wait),
+            latency_samples=sorted(latencies),
+            max_queue_depth=timeline.max_queue_depths(),
         )
 
     # ------------------------------------------------------------------
@@ -761,17 +816,15 @@ class SimulationSession:
                          saturation_gbps: float = 200.0,
                          trace=None,
                          **interference) -> float:
-        """Saturation throughput in Gbps (offered load >> capacity)."""
+        """Saturation throughput in Gbps (offered load >> capacity).
+
+        Every other spec field — the arrival process included — is
+        preserved, so bursty specs are saturated under the same burst
+        structure (re-normalized to the saturating mean rate).
+        """
         trace = resolve_trace(trace)
-        saturated = TrafficSpec(
-            offered_gbps=max(spec.offered_gbps, saturation_gbps),
-            size_law=spec.size_law,
-            protocol=spec.protocol,
-            ip_version=spec.ip_version,
-            flow_count=spec.flow_count,
-            seed=spec.seed,
-            payload_maker=spec.payload_maker,
-            match_profile=spec.match_profile,
+        saturated = dataclasses.replace(
+            spec, offered_gbps=max(spec.offered_gbps, saturation_gbps)
         )
         with trace.span("capacity", deployment=self.deployment.name,
                         saturation_gbps=saturation_gbps) as span:

@@ -4,6 +4,13 @@
 figures plot — throughput in Gbps/Mpps, latency statistics (mean,
 percentiles, variance), drop counts — plus the overhead breakdown
 (Fig. 5's "overhead fractions") and per-processor utilization.
+
+Tail behavior is first-class: the report keeps the sorted per-batch
+latency samples, so :meth:`ThroughputLatencyReport.latency_percentile`
+answers any percentile (not just the precomputed p50/p95/p99),
+``max_queue_depth`` exposes the deepest per-resource backlog the run
+built up, and :meth:`ThroughputLatencyReport.check_slo` turns a
+declarative :class:`SLO` into a violation list.
 """
 
 from __future__ import annotations
@@ -116,6 +123,34 @@ class OverheadBreakdown:
         return (self.kernel_launch + self.pcie_transfer) / total
 
 
+@dataclass(frozen=True)
+class SLO:
+    """A declarative latency/loss service-level objective.
+
+    All thresholds are optional; unset ones are not checked.  Latency
+    bounds are in milliseconds, ``max_drop_rate`` a fraction in
+    [0, 1].
+    """
+
+    p50_ms: Optional[float] = None
+    p95_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    mean_ms: Optional[float] = None
+    max_drop_rate: Optional[float] = None
+
+
+@dataclass
+class SLOViolation:
+    """One SLO threshold a report failed to meet."""
+
+    metric: str
+    actual: float
+    limit: float
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.actual:.4f} > {self.limit:.4f}"
+
+
 @dataclass
 class ThroughputLatencyReport:
     """The result of one simulation run."""
@@ -135,6 +170,15 @@ class ThroughputLatencyReport:
     processor_queue_wait_seconds: Dict[str, float] = field(
         default_factory=dict
     )
+    #: Sorted per-batch latencies (seconds), one per delivered batch.
+    #: Filled by the event kernel; empty for reports from older code
+    #: paths, in which case :meth:`latency_percentile` degrades to the
+    #: precomputed p50/p95/p99 summary.
+    latency_samples: List[float] = field(default_factory=list)
+    #: Deepest simultaneous backlog per resource: the largest number
+    #: of tasks that were ever waiting (ready but not started) on the
+    #: resource at once.  Resources that never queued are absent.
+    max_queue_depth: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_gbps(self) -> float:
@@ -176,6 +220,82 @@ class ThroughputLatencyReport:
         return max(sorted(self.processor_busy_seconds),
                    key=lambda proc: self.processor_busy_seconds[proc])
 
+    # -- latency distribution ------------------------------------------
+    @property
+    def p50(self) -> float:
+        """Median per-batch latency, seconds."""
+        return self.latency.p50
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile per-batch latency, seconds."""
+        return self.latency.p95
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile per-batch latency, seconds."""
+        return self.latency.p99
+
+    def latency_percentile(self, percent: float) -> float:
+        """Interpolated latency percentile, seconds.
+
+        ``percent`` is in [0, 100]; 0 is the fastest delivered batch,
+        100 the slowest.  Linear interpolation between order
+        statistics (the same rule the precomputed p50/p95/p99 use).
+        Reports without stored samples (legacy code paths) fall back
+        to the nearest precomputed summary statistic.
+        """
+        if not 0.0 <= percent <= 100.0:
+            raise ValueError(
+                f"percentile must be in [0, 100], got {percent}"
+            )
+        if self.latency_samples:
+            return _percentile(self.latency_samples, percent / 100.0)
+        summary = {50.0: self.latency.p50, 95.0: self.latency.p95,
+                   99.0: self.latency.p99, 100.0: self.latency.max}
+        if percent in summary:
+            return summary[percent]
+        if self.latency.samples == 0:
+            return 0.0
+        raise ValueError(
+            f"report {self.name!r} carries no latency samples; only "
+            f"p50/p95/p99/p100 are available"
+        )
+
+    def check_slo(self, slo: SLO) -> List[SLOViolation]:
+        """Every threshold of ``slo`` this run violated (empty: met)."""
+        violations: List[SLOViolation] = []
+
+        def check(metric: str, actual: float,
+                  limit: Optional[float]) -> None:
+            if limit is not None and actual > limit:
+                violations.append(
+                    SLOViolation(metric=metric, actual=actual,
+                                 limit=limit))
+
+        check("p50_ms", self.latency.p50 * 1e3, slo.p50_ms)
+        check("p95_ms", self.latency.p95 * 1e3, slo.p95_ms)
+        check("p99_ms", self.latency.p99 * 1e3, slo.p99_ms)
+        check("mean_ms", self.latency.mean_ms, slo.mean_ms)
+        check("drop_rate", self.drop_rate, slo.max_drop_rate)
+        return violations
+
+    def meets_slo(self, slo: SLO) -> bool:
+        """True when no threshold of ``slo`` is violated."""
+        return not self.check_slo(slo)
+
+    @property
+    def deepest_queue(self) -> Optional[str]:
+        """The resource with the largest peak backlog, if any queued.
+
+        Ties break towards the lexicographically first resource name,
+        matching :meth:`bottleneck_processor`.
+        """
+        if not self.max_queue_depth:
+            return None
+        return max(sorted(self.max_queue_depth),
+                   key=lambda proc: self.max_queue_depth[proc])
+
     @property
     def total_queue_wait_seconds(self) -> float:
         """Summed queueing delay across all resources."""
@@ -199,6 +319,8 @@ class ThroughputLatencyReport:
             f"{self.name}: {self.throughput_gbps:.2f} Gbps "
             f"({self.throughput_mpps:.2f} Mpps), "
             f"latency mean {self.latency.mean_ms:.3f} ms "
-            f"p99 {self.latency.p99 * 1e3:.3f} ms, "
+            f"p50/p95/p99 {self.latency.p50 * 1e3:.3f}/"
+            f"{self.latency.p95 * 1e3:.3f}/"
+            f"{self.latency.p99 * 1e3:.3f} ms, "
             f"drops {self.drop_rate:.1%}"
         )

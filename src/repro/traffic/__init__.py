@@ -7,6 +7,18 @@ ClassBench-style ACL rule sets and DPI payload match profiles its
 experiments require.
 """
 
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    ConstantRate,
+    DiurnalRamp,
+    MMPP,
+    OnOffBursty,
+    Poisson,
+    TraceArrivals,
+    attach_arrivals,
+    mean_batch_gap,
+    peak_rate_gbps,
+)
 from repro.traffic.distributions import (
     FixedSize,
     UniformSize,
@@ -24,6 +36,16 @@ from repro.traffic.dpi_profiles import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "DiurnalRamp",
+    "MMPP",
+    "OnOffBursty",
+    "Poisson",
+    "TraceArrivals",
+    "attach_arrivals",
+    "mean_batch_gap",
+    "peak_rate_gbps",
     "FixedSize",
     "UniformSize",
     "IMIXSize",

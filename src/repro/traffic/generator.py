@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional
 
 from repro.net.batch import PacketBatch
+from repro.traffic.arrivals import CONSTANT_RATE, ArrivalProcess
 from repro.net.packet import (
     ETHERTYPE_IPV4,
     ETHERTYPE_IPV6,
@@ -54,6 +55,10 @@ class TrafficSpec:
     #: Declared DPI match density of the payloads (consumed by the
     #: cost model; keep consistent with ``payload_maker`` if set).
     match_profile: MatchProfile = MatchProfile.PARTIAL_MATCH
+    #: Batch arrival process (see :mod:`repro.traffic.arrivals`).
+    #: ``None`` means the historical uniform clock — bit-identical to
+    #: an explicit :class:`~repro.traffic.arrivals.ConstantRate`.
+    arrivals: Optional[ArrivalProcess] = None
 
     def __post_init__(self):
         if self.offered_gbps <= 0:
@@ -64,6 +69,18 @@ class TrafficSpec:
             raise ValueError("ip_version must be 4 or 6")
         if self.flow_count <= 0:
             raise ValueError("flow_count must be positive")
+        if self.arrivals is not None \
+                and not isinstance(self.arrivals, ArrivalProcess):
+            raise TypeError(
+                f"arrivals must be an ArrivalProcess, "
+                f"got {type(self.arrivals).__qualname__}"
+            )
+
+    @property
+    def arrival_process(self) -> ArrivalProcess:
+        """The effective arrival process (uniform clock by default)."""
+        return self.arrivals if self.arrivals is not None \
+            else CONSTANT_RATE
 
     @property
     def header_len(self) -> int:

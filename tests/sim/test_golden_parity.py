@@ -19,6 +19,8 @@ The quick versions run in tier-1; ``@pytest.mark.slow`` variants
 replay the same scenarios at longer horizons.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.hw import DEFAULT_HOST_DEVICE
@@ -28,6 +30,8 @@ from repro.nf.catalog import make_nf
 from repro.sim.engine import BranchProfile, SimulationEngine
 from repro.sim.legacy import LegacySimulationEngine
 from repro.sim.mapping import Deployment, Mapping, Placement
+from repro.sim.tracing import EventRecorder
+from repro.traffic.arrivals import ConstantRate
 from repro.traffic.distributions import FixedSize
 from repro.traffic.generator import TrafficSpec
 
@@ -180,3 +184,86 @@ def test_golden_parity_session_reuse():
 def test_golden_parity_long_horizon(scenario):
     new, old = run_both(scenario, batch_size=64, batch_count=1500)
     assert_reports_match(new, old)
+
+
+# ---------------------------------------------------------------------------
+# Arrival-process backward compatibility: ConstantRate through the new
+# pluggable-clock plumbing must be indistinguishable — byte-for-byte in
+# the event stream — from the pre-refactor uniform clock.
+# ---------------------------------------------------------------------------
+
+class TestConstantRateParity:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_explicit_constant_rate_matches_legacy(self, scenario):
+        """Kernel + explicit ConstantRate vs the frozen legacy engine:
+        identical reports and a byte-identical event stream."""
+        deployment, spec, profile = SCENARIOS[scenario]()
+        explicit = dataclasses.replace(spec, arrivals=ConstantRate())
+        new_recorder, old_recorder = EventRecorder(), EventRecorder()
+        new = SimulationEngine().run(
+            deployment, explicit, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=new_recorder,
+        )
+        old = LegacySimulationEngine().run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=old_recorder,
+        )
+        assert_reports_match(new, old)
+        assert new_recorder.to_json() == old_recorder.to_json()
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_default_clock_is_explicit_constant_rate(self, scenario):
+        """A spec with no process and one with ConstantRate() take the
+        exact same path: equal event bytes and equal (==) metrics."""
+        deployment, spec, profile = SCENARIOS[scenario]()
+        explicit = dataclasses.replace(spec, arrivals=ConstantRate())
+        recorder_default, recorder_explicit = (EventRecorder(),
+                                               EventRecorder())
+        engine = SimulationEngine()
+        default_report = engine.run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=recorder_default,
+        )
+        explicit_report = engine.run(
+            deployment, explicit, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=recorder_explicit,
+        )
+        assert recorder_default.to_json() == recorder_explicit.to_json()
+        assert default_report.makespan_seconds \
+            == explicit_report.makespan_seconds
+        assert default_report.latency_samples \
+            == explicit_report.latency_samples
+        assert default_report.max_queue_depth \
+            == explicit_report.max_queue_depth
+        assert default_report.processor_busy_seconds \
+            == explicit_report.processor_busy_seconds
+
+    def test_fig06_rows_exact_with_explicit_constant_rate(self,
+                                                          monkeypatch):
+        """The fig06 point function produces float-equal rows whether
+        its spec carries no process or an explicit ConstantRate."""
+        from repro.experiments import fig06_offload_ratio as fig06
+        baseline = fig06._measure_point("ipsec", 0.6, 256, 32, 30)
+        real_spec = fig06.TrafficSpec
+
+        def with_constant(**kwargs):
+            return real_spec(arrivals=ConstantRate(), **kwargs)
+
+        monkeypatch.setattr(fig06, "TrafficSpec", with_constant)
+        explicit = fig06._measure_point("ipsec", 0.6, 256, 32, 30)
+        assert baseline == explicit
+
+    def test_fig08_rows_exact_with_explicit_constant_rate(self,
+                                                          monkeypatch):
+        """Same exact-row check on the fig08 characterization path."""
+        from repro.experiments import fig08_characterization as fig08
+        args = ("ids", "cpu", "partial_match", 64, 256, 30)
+        baseline = fig08._batch_point(*args)
+        real_spec = fig08.TrafficSpec
+
+        def with_constant(**kwargs):
+            return real_spec(arrivals=ConstantRate(), **kwargs)
+
+        monkeypatch.setattr(fig08, "TrafficSpec", with_constant)
+        explicit = fig08._batch_point(*args)
+        assert baseline == explicit

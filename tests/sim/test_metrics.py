@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.metrics import (
+    SLO,
     LatencyStats,
     OverheadBreakdown,
     ThroughputLatencyReport,
@@ -131,3 +132,169 @@ class TestReport:
 
     def test_queue_wait_fractions_empty_without_waits(self):
         assert self._report().queue_wait_fractions() == {}
+
+
+class TestLatencyPercentile:
+    def _report(self, samples=(), **overrides):
+        samples = sorted(samples)
+        defaults = dict(
+            name="pct",
+            offered_gbps=10.0,
+            delivered_packets=float(len(samples) or 1),
+            delivered_bytes=64_000.0,
+            dropped_packets=0.0,
+            makespan_seconds=1e-3,
+            latency=LatencyStats.from_samples(list(samples)),
+            latency_samples=list(samples),
+        )
+        defaults.update(overrides)
+        return ThroughputLatencyReport(**defaults)
+
+    def test_out_of_range_raises(self):
+        report = self._report([1e-4])
+        with pytest.raises(ValueError):
+            report.latency_percentile(-0.1)
+        with pytest.raises(ValueError):
+            report.latency_percentile(100.1)
+
+    def test_empty_report_is_zero(self):
+        report = self._report([])
+        for percent in (0, 37.5, 50, 99, 100):
+            assert report.latency_percentile(percent) == 0.0
+
+    def test_single_batch_is_flat(self):
+        report = self._report([2e-4])
+        for percent in (0, 50, 95, 99, 100):
+            assert report.latency_percentile(percent) == 2e-4
+
+    def test_extremes_are_min_and_max(self):
+        report = self._report([1e-4, 5e-4, 9e-4])
+        assert report.latency_percentile(0) == 1e-4
+        assert report.latency_percentile(100) == 9e-4
+        assert report.latency_percentile(100) == report.latency.max
+
+    def test_linear_interpolation(self):
+        report = self._report([0.0, 1.0])
+        assert report.latency_percentile(25) == pytest.approx(0.25)
+        assert report.latency_percentile(50) == pytest.approx(0.5)
+
+    def test_matches_precomputed_summary(self):
+        samples = [i * 1e-5 for i in range(200)]
+        report = self._report(samples)
+        assert report.latency_percentile(50) == report.p50
+        assert report.latency_percentile(95) == report.p95
+        assert report.latency_percentile(99) == report.p99
+
+    def test_legacy_fallback_without_samples(self):
+        """Reports from older code paths carry only summary stats."""
+        report = self._report([1e-4, 2e-4, 3e-4], latency_samples=[])
+        assert report.latency_percentile(50) == report.latency.p50
+        assert report.latency_percentile(99) == report.latency.p99
+        assert report.latency_percentile(100) == report.latency.max
+        with pytest.raises(ValueError):
+            report.latency_percentile(42)
+
+
+class TestSLO:
+    def _report(self):
+        return ThroughputLatencyReport(
+            name="slo",
+            offered_gbps=10.0,
+            delivered_packets=90.0,
+            delivered_bytes=64_000.0,
+            dropped_packets=10.0,
+            makespan_seconds=1e-3,
+            latency=LatencyStats.from_samples([1e-4, 2e-4, 1e-3]),
+        )
+
+    def test_met_slo_has_no_violations(self):
+        report = self._report()
+        slo = SLO(p99_ms=10.0, mean_ms=10.0, max_drop_rate=0.5)
+        assert report.check_slo(slo) == []
+        assert report.meets_slo(slo)
+
+    def test_unset_thresholds_are_ignored(self):
+        assert self._report().meets_slo(SLO())
+
+    def test_violations_name_the_metric(self):
+        report = self._report()
+        slo = SLO(p99_ms=1e-9, max_drop_rate=0.01)
+        violations = report.check_slo(slo)
+        assert [v.metric for v in violations] == ["p99_ms",
+                                                  "drop_rate"]
+        assert not report.meets_slo(slo)
+        assert "p99_ms" in str(violations[0])
+
+    def test_actual_and_limit_reported(self):
+        report = self._report()
+        (violation,) = report.check_slo(SLO(max_drop_rate=0.05))
+        assert violation.actual == pytest.approx(0.1)
+        assert violation.limit == 0.05
+
+
+class TestQueueDepth:
+    def _report(self, depths):
+        return ThroughputLatencyReport(
+            name="queues",
+            offered_gbps=10.0,
+            delivered_packets=100.0,
+            delivered_bytes=64_000.0,
+            dropped_packets=0.0,
+            makespan_seconds=1e-3,
+            latency=LatencyStats.from_samples([1e-4]),
+            max_queue_depth=depths,
+        )
+
+    def test_deepest_queue_none_without_backlog(self):
+        assert self._report({}).deepest_queue is None
+
+    def test_deepest_queue_picks_max(self):
+        report = self._report({"cpu0": 3, "gpu0": 9, "cpu1": 1})
+        assert report.deepest_queue == "gpu0"
+
+    def test_deepest_queue_ties_break_lexicographically(self):
+        report = self._report({"cpu1": 4, "cpu0": 4})
+        assert report.deepest_queue == "cpu0"
+
+
+class TestSeededMMPPRegressionPin:
+    """Tail percentiles of one small seeded MMPP run, pinned.
+
+    Any change to the MMPP sampler, the kernel's arrival plumbing, or
+    the percentile rule shows up here as a drifted number — bump the
+    pins only with a deliberate engine-version decision.
+    """
+
+    def _report(self):
+        from repro.nf.base import ServiceFunctionChain
+        from repro.nf.catalog import make_nf
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.mapping import Deployment, Mapping
+        from repro.traffic.arrivals import MMPP
+        from repro.traffic.distributions import FixedSize
+        from repro.traffic.generator import TrafficSpec
+
+        spec = TrafficSpec(size_law=FixedSize(256), offered_gbps=30.0,
+                           seed=4, arrivals=MMPP(seed=99))
+        graph = ServiceFunctionChain(
+            [make_nf("firewall")]).concatenated_graph()
+        deployment = Deployment(
+            graph, Mapping.all_cpu(graph, cores=["cpu0", "cpu1"]),
+            name="mmpp-pin",
+        )
+        return SimulationEngine().run(deployment, spec,
+                                      batch_size=32, batch_count=50)
+
+    def test_tail_percentiles_pinned(self):
+        report = self._report()
+        assert report.latency_percentile(50) == pytest.approx(
+            4.7898925532858426e-4, rel=1e-9)
+        assert report.latency_percentile(95) == pytest.approx(
+            9.96593471740082e-4, rel=1e-9)
+        assert report.latency_percentile(99) == pytest.approx(
+            1.0428171857274852e-3, rel=1e-9)
+
+    def test_queue_depth_pinned(self):
+        report = self._report()
+        assert report.deepest_queue == "cpu0"
+        assert report.max_queue_depth["cpu0"] == 43

@@ -64,6 +64,8 @@ SIM_ALL = [
     "Deployment",
     "ThroughputLatencyReport",
     "OverheadBreakdown",
+    "SLO",
+    "SLOViolation",
     "ResourceTimeline",
     "SimulationSession",
     "SimulationEngine",

@@ -1,0 +1,206 @@
+"""Unit tests for the batch arrival processes."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.net.trace import write_trace
+from repro.traffic.arrivals import (
+    CONSTANT_RATE,
+    MMPP,
+    ConstantRate,
+    DiurnalRamp,
+    OnOffBursty,
+    Poisson,
+    TraceArrivals,
+    attach_arrivals,
+    mean_batch_gap,
+    peak_rate_gbps,
+)
+from repro.traffic.distributions import FixedSize
+from repro.traffic.generator import TrafficGenerator, TrafficSpec
+
+BATCH = 32
+
+
+@pytest.fixture
+def spec():
+    return TrafficSpec(size_law=FixedSize(256), offered_gbps=40.0,
+                       seed=3)
+
+
+class TestTrafficSpecField:
+    def test_default_is_no_process(self, spec):
+        assert spec.arrivals is None
+        assert spec.arrival_process == CONSTANT_RATE
+
+    def test_explicit_process_wins(self, spec):
+        poisson = Poisson(seed=8)
+        carrying = dataclasses.replace(spec, arrivals=poisson)
+        assert carrying.arrival_process is poisson
+
+    def test_non_process_rejected(self):
+        with pytest.raises(TypeError):
+            TrafficSpec(size_law=FixedSize(256), arrivals="poisson")
+
+
+class TestConstantRate:
+    def test_matches_historical_clock_bitwise(self, spec):
+        gap = BATCH * spec.mean_packet_interval()
+        arrivals = ConstantRate().batch_arrivals(40, BATCH, spec)
+        assert arrivals == [i * gap for i in range(40)]
+
+    def test_horizon_is_legacy_makespan_floor(self, spec):
+        gap = BATCH * spec.mean_packet_interval()
+        assert ConstantRate().horizon(40, BATCH, spec) == gap * 40
+
+    def test_for_epoch_is_identity(self):
+        process = ConstantRate()
+        assert process.for_epoch(7) is process
+
+
+class TestMMPPValidation:
+    def test_burst_factor_below_one(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            MMPP(burst_factor=0.5)
+
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ValueError, match="duty_cycle"):
+            MMPP(duty_cycle=0.0)
+        with pytest.raises(ValueError, match="duty_cycle"):
+            MMPP(duty_cycle=1.0)
+
+    def test_mean_preserving_constraint(self):
+        # duty * burst > 1 would need a negative OFF rate.
+        with pytest.raises(ValueError, match="negative OFF rate"):
+            MMPP(burst_factor=5.0, duty_cycle=0.5)
+
+    def test_silent_off_corner_allowed(self, spec):
+        onoff = OnOffBursty(burst_factor=4.0, duty_cycle=0.25)
+        arrivals = onoff.batch_arrivals(60, BATCH, spec)
+        assert len(arrivals) == 60
+        assert arrivals == sorted(arrivals)
+
+    def test_cycle_batches_positive(self):
+        with pytest.raises(ValueError, match="cycle_batches"):
+            MMPP(cycle_batches=0.0)
+
+    def test_onoff_alias(self):
+        assert OnOffBursty is MMPP
+
+
+class TestForEpoch:
+    def test_seeded_processes_decorrelate(self, spec):
+        process = Poisson(seed=5)
+        epoch1 = process.for_epoch(1)
+        epoch2 = process.for_epoch(2)
+        assert epoch1 != process and epoch1 != epoch2
+        assert epoch1.batch_arrivals(30, BATCH, spec) \
+            != epoch2.batch_arrivals(30, BATCH, spec)
+
+    def test_epoch_zero_is_self(self):
+        process = MMPP(seed=7)
+        assert process.for_epoch(0) == process
+
+    def test_diurnal_advances_phase(self):
+        ramp = DiurnalRamp(phase=0.1, phase_per_epoch=0.25)
+        assert ramp.for_epoch(2).phase == pytest.approx(0.6)
+        assert ramp.for_epoch(0) is ramp
+
+
+class TestAttachArrivals:
+    def test_none_process_is_identity(self, spec):
+        assert attach_arrivals(spec, None, 3) is spec
+
+    def test_attaches_epoch_variant(self, spec):
+        process = Poisson(seed=5)
+        attached = attach_arrivals(spec, process, 2)
+        assert attached.arrivals == process.for_epoch(2)
+        assert attached.offered_gbps == spec.offered_gbps
+
+    def test_spec_process_wins(self, spec):
+        own = MMPP(seed=1)
+        carrying = dataclasses.replace(spec, arrivals=own)
+        attached = attach_arrivals(carrying, Poisson(seed=2), 4)
+        assert attached.arrivals is own
+
+
+class TestDiurnalRamp:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="trough_ratio"):
+            DiurnalRamp(trough_ratio=0.0)
+        with pytest.raises(ValueError, match="period_batches"):
+            DiurnalRamp(period_batches=-1.0)
+
+    def test_rate_swings_within_bounds(self, spec):
+        gap = mean_batch_gap(BATCH, spec)
+        ramp = DiurnalRamp(trough_ratio=0.25, period_batches=50.0)
+        arrivals = ramp.batch_arrivals(200, BATCH, spec)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # Instantaneous gap stays within the configured swing.
+        assert min(gaps) >= gap / (2 - 0.25) - 1e-12
+        assert max(gaps) <= gap / 0.25 + 1e-12
+
+
+class TestTraceArrivals:
+    @pytest.fixture
+    def trace_path(self, tmp_path, spec):
+        path = tmp_path / "arrivals.rptr"
+        write_trace(path, TrafficGenerator(spec).packets(128))
+        return path
+
+    def test_replays_first_packet_stamps(self, trace_path, spec):
+        from repro.net.trace import read_trace
+        stamps = [p.arrival_time for p in read_trace(trace_path)]
+        base = stamps[0]
+        process = TraceArrivals(trace_path)
+        arrivals = process.batch_arrivals(4, BATCH, spec)
+        assert arrivals == [stamps[i * BATCH] - base for i in range(4)]
+
+    def test_time_scale_stretches(self, trace_path, spec):
+        unit = TraceArrivals(trace_path).batch_arrivals(4, BATCH, spec)
+        slow = TraceArrivals(trace_path, time_scale=2.0) \
+            .batch_arrivals(4, BATCH, spec)
+        assert slow == pytest.approx([2.0 * a for a in unit])
+
+    def test_loops_past_trace_end(self, trace_path, spec):
+        process = TraceArrivals(trace_path)
+        arrivals = process.batch_arrivals(12, BATCH, spec)
+        assert len(arrivals) == 12
+        assert arrivals == sorted(arrivals)
+        assert all(math.isfinite(a) for a in arrivals)
+
+    def test_invalid_time_scale(self, trace_path):
+        with pytest.raises(ValueError, match="time_scale"):
+            TraceArrivals(trace_path, time_scale=0.0)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        from repro.net.trace import TraceFormatError
+        path = tmp_path / "empty.rptr"
+        write_trace(path, [])
+        with pytest.raises(TraceFormatError):
+            TraceArrivals(path)
+
+
+class TestPeakRate:
+    def test_constant_rate_reports_offered(self, spec):
+        arrivals = ConstantRate().batch_arrivals(50, BATCH, spec)
+        peak = peak_rate_gbps(arrivals, BATCH, spec)
+        assert peak == pytest.approx(spec.offered_gbps, rel=1e-9)
+
+    def test_bursty_peak_exceeds_mean(self, spec):
+        process = MMPP(burst_factor=4.0, duty_cycle=0.25, seed=3)
+        arrivals = process.batch_arrivals(200, BATCH, spec)
+        peak = peak_rate_gbps(arrivals, BATCH, spec)
+        assert peak > spec.offered_gbps * 1.5
+
+    def test_degenerate_schedules_fall_back(self, spec):
+        assert peak_rate_gbps([], BATCH, spec) == spec.offered_gbps
+        assert peak_rate_gbps([0.0], BATCH, spec) == spec.offered_gbps
+        assert peak_rate_gbps([0.0] * 10, BATCH, spec) \
+            == spec.offered_gbps
+
+    def test_window_must_span(self, spec):
+        with pytest.raises(ValueError, match="window_batches"):
+            peak_rate_gbps([0.0, 1.0], BATCH, spec, window_batches=1)
