@@ -383,6 +383,76 @@ def arrival_overhead_row():
     return row
 
 
+def overload_overhead_row():
+    """Overload-protection kernel overhead (non-gating, recorded).
+
+    Times the same cached session three ways: without the ``overload``
+    kwarg, with a huge queue limit plus a breaker and retry budget that
+    never fire (the cost of threading the ledgers — must be ≈0), and
+    with a tight queue limit under bursty arrivals so the drop
+    machinery actually runs.  The idle-vs-none delta is the feature's
+    tax on unprotected workloads; the active delta is what shedding
+    load costs when it happens.
+    """
+    import dataclasses
+
+    from repro.overload import (
+        CircuitBreaker,
+        OverloadConfig,
+        RetryPolicy,
+    )
+    from repro.traffic.arrivals import MMPP
+
+    deployment, spec, batch_size, batch_count = small_scenario()
+    batch_count *= 5
+    profile = BranchProfile.measure(
+        deployment.graph.clone(), spec, sample_packets=256,
+        batch_size=batch_size,
+    )
+    kwargs = dict(batch_size=batch_size, batch_count=batch_count,
+                  branch_profile=profile)
+    session = SimulationEngine().session(deployment)
+    session.run(spec, **dict(kwargs, batch_count=50))  # warm
+
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs)
+    none_seconds = time.perf_counter() - t0
+
+    idle = OverloadConfig(queue_limit=10**9,
+                          breaker=CircuitBreaker(),
+                          retry=RetryPolicy())
+    t0 = time.perf_counter()
+    session.run(spec, **kwargs, overload=idle)
+    idle_seconds = time.perf_counter() - t0
+    idle_stats = session.last_overload_stats
+    assert idle_stats["queue_dropped_packets"] == 0.0
+    assert idle_stats["breaker_trips"] == 0
+
+    bursty = dataclasses.replace(spec, arrivals=MMPP(seed=31))
+    tight = OverloadConfig(queue_limit=4, slo_ms=2.0)
+    t0 = time.perf_counter()
+    session.run(bursty, **kwargs, overload=tight)
+    active_seconds = time.perf_counter() - t0
+    dropped = session.last_overload_stats["queue_dropped_batches"]
+
+    row = {
+        "batch_count": batch_count,
+        "none_seconds": round(none_seconds, 6),
+        "idle_protection_seconds": round(idle_seconds, 6),
+        "active_protection_seconds": round(active_seconds, 6),
+        "idle_overhead_pct": round(
+            100.0 * (idle_seconds - none_seconds) / none_seconds, 2),
+        "active_overhead_pct": round(
+            100.0 * (active_seconds - none_seconds) / none_seconds, 2),
+        "active_dropped_batches": dropped,
+    }
+    print(f"overload batches={batch_count:5d} none={none_seconds:8.3f}s "
+          f"idle={row['idle_overhead_pct']:+5.1f}% "
+          f"active={row['active_overhead_pct']:+5.1f}% "
+          f"dropped={dropped}")
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -410,6 +480,10 @@ def main(argv=None):
         #: ConstantRate) and bursty-schedule cost (MMPP) vs the
         #: default uniform clock.
         "arrival_overhead": arrival_overhead_row(),
+        #: Non-gating: overload-protection threading cost (huge queue
+        #: limit + idle breaker, must be ≈0) and active shedding cost
+        #: (tight queue limit under MMPP bursts) vs the bare run.
+        "overload_overhead": overload_overhead_row(),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

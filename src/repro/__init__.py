@@ -18,7 +18,10 @@ Platform* (HPCA 2018).  The package provides:
 - :mod:`repro.baselines` — FastClick/NBA/CPU-only/GPU-only baselines;
 - :mod:`repro.experiments` — one harness per paper table/figure;
 - :mod:`repro.faults` — fault injection and degradation-aware
-  re-deployment (:class:`ResilientRuntime`).
+  re-deployment (:class:`ResilientRuntime`);
+- :mod:`repro.overload` — overload protection: bounded queues with
+  pluggable drop policies, SLO-aware admission control, and
+  circuit-broken offload dispatch (:class:`OverloadConfig`).
 
 Every epoch-driven loop — :class:`AdaptiveRuntime`,
 :class:`MultiTenantScheduler`, :class:`ResilientRuntime` — implements
@@ -41,11 +44,18 @@ from repro.faults import FaultSpec, FaultTimeline, ResilientRuntime
 from repro.nf.catalog import NF_CATALOG, make_nf
 from repro.hw.platform import PlatformSpec
 from repro.obs import Trace, use_trace
+from repro.overload import (
+    CircuitBreaker,
+    OverloadConfig,
+    RetryPolicy,
+    SLOFeedbackAdmission,
+    TokenBucketAdmission,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.kernel import SimulationSession
 from repro.sim.metrics import ThroughputLatencyReport
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # Imported after __version__: the runner's fingerprints fold the
 # package version into every cache key.
@@ -59,6 +69,7 @@ from repro.runner import (  # noqa: E402
 
 __all__ = [
     "AdaptiveRuntime",
+    "CircuitBreaker",
     "CompassPlan",
     "DeploymentResult",
     "EpochResult",
@@ -69,17 +80,21 @@ __all__ = [
     "NFCompass",
     "NFSynthesizer",
     "NF_CATALOG",
+    "OverloadConfig",
     "PlatformSpec",
     "ProfileConfig",
     "ResilientRuntime",
     "ResultCache",
+    "RetryPolicy",
     "Runtime",
     "SFCOrchestrator",
+    "SLOFeedbackAdmission",
     "SimulationEngine",
     "SimulationSession",
     "SweepRunner",
     "SweepSpec",
     "ThroughputLatencyReport",
+    "TokenBucketAdmission",
     "Trace",
     "deployment_fingerprint",
     "make_nf",

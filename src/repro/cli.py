@@ -140,6 +140,30 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--trace", metavar="PATH", default=None,
                         help="write an NDJSON observability trace of "
                              "the deployment pipeline to PATH")
+    deploy.add_argument("--queue-limit", type=int, default=None,
+                        metavar="N",
+                        help="bound each resource queue to N waiting "
+                             "batches (default: unbounded, the "
+                             "bit-identical historical path)")
+    deploy.add_argument("--drop-policy", default="tail",
+                        metavar="POLICY",
+                        help="overflow policy for --queue-limit: "
+                             "tail, head, or deadline[:MS] "
+                             "(default tail)")
+    deploy.add_argument("--admission", choices=("none", "token", "slo"),
+                        default="none",
+                        help="admission controller: token "
+                             "(token-bucket) or slo (p99-feedback; "
+                             "needs --slo-ms)")
+    deploy.add_argument("--retry-budget", type=int, default=None,
+                        metavar="N",
+                        help="wrap offload dispatch in a circuit "
+                             "breaker with N retries per leg")
+    deploy.add_argument("--slo-ms", type=float, default=None,
+                        metavar="MS",
+                        help="latency SLO in ms: splits goodput from "
+                             "late deliveries and feeds --admission "
+                             "slo / --drop-policy deadline")
 
     platform = subparsers.add_parser(
         "platform", help="inspect the modeled server platform"
@@ -333,6 +357,39 @@ def _make_arrivals(args):
     return DiurnalRamp()
 
 
+def _make_overload(args):
+    """The deploy command's ``OverloadConfig``, or ``None``."""
+    from repro.overload import (
+        CircuitBreaker,
+        OverloadConfig,
+        RetryPolicy,
+        SLOFeedbackAdmission,
+        TokenBucketAdmission,
+        parse_drop_policy,
+    )
+
+    admission = None
+    if args.admission == "token":
+        admission = TokenBucketAdmission()
+    elif args.admission == "slo":
+        if args.slo_ms is None:
+            raise ValueError("--admission slo needs --slo-ms")
+        admission = SLOFeedbackAdmission(p99_ms=args.slo_ms)
+    breaker = retry = None
+    if args.retry_budget is not None:
+        breaker = CircuitBreaker()
+        retry = RetryPolicy(budget=args.retry_budget)
+    config = OverloadConfig(
+        queue_limit=args.queue_limit,
+        drop_policy=parse_drop_policy(args.drop_policy),
+        admission=admission,
+        breaker=breaker,
+        retry=retry,
+        slo_ms=args.slo_ms,
+    )
+    return None if config.is_noop else config
+
+
 def _cmd_deploy(args) -> int:
     from repro.core.compass import NFCompass
     from repro.hw.platform import PlatformSpec
@@ -352,6 +409,11 @@ def _cmd_deploy(args) -> int:
     except ValueError as error:
         print(f"invalid arrival process: {error}", file=sys.stderr)
         return 2
+    try:
+        overload = _make_overload(args)
+    except ValueError as error:
+        print(f"invalid overload config: {error}", file=sys.stderr)
+        return 2
     spec = _make_spec(args.packet_size, args.load, args.seed,
                       arrivals=arrivals)
     sfc = ServiceFunctionChain([make_nf(t) for t in nf_types])
@@ -360,7 +422,8 @@ def _cmd_deploy(args) -> int:
     trace = Trace(name=f"deploy:{args.chain}") if args.trace \
         else NULL_TRACE
     result = compass.run(sfc, spec, batch_size=args.batch,
-                         batch_count=args.batches, trace=trace)
+                         batch_count=args.batches, trace=trace,
+                         overload=overload)
     print(result.plan.describe())
     report = result.report
     print(report.summary())
@@ -371,6 +434,15 @@ def _cmd_deploy(args) -> int:
               f"({utilization:.0%} busy over the makespan)")
     if arrivals is not None:
         print(f"arrivals: {arrivals!r}")
+    if overload is not None:
+        stats = result.session.last_overload_stats or {}
+        print(f"overload: drop rate {report.drop_rate:.1%}, "
+              f"shed {report.shed_fraction:.1%}, "
+              f"goodput {report.goodput_gbps:.2f} Gbps")
+        print(f"  queue drops {stats.get('queue_dropped_batches', 0)} "
+              f"batch(es), breaker trips "
+              f"{stats.get('breaker_trips', 0)}, retries "
+              f"{stats.get('retry_attempts', 0)}")
     deepest = report.deepest_queue
     if deepest is not None:
         print(f"deepest queue: {deepest} "

@@ -81,6 +81,7 @@ class AdaptiveRuntime:
                  drift_threshold: float = 0.25,
                  cooldown_epochs: int = 1,
                  arrivals: Optional[ArrivalProcess] = None,
+                 overload=None,
                  trace=None):
         if drift_threshold <= 0:
             raise ValueError("drift threshold must be positive")
@@ -92,6 +93,12 @@ class AdaptiveRuntime:
         #: Runtime-level arrival process: applied (decorrelated per
         #: epoch) to every epoch spec that has no process of its own.
         self.arrivals = arrivals
+        #: Optional :class:`~repro.overload.OverloadConfig` applied to
+        #: every epoch; its stateful parts (admission controller,
+        #: circuit breaker) persist across epochs, and the admission
+        #: controller observes each epoch's report so SLO feedback
+        #: closes the loop.
+        self.overload = overload
         self.drift_threshold = drift_threshold
         self.cooldown_epochs = cooldown_epochs
         self.trace = resolve_trace(trace)
@@ -156,7 +163,11 @@ class AdaptiveRuntime:
             batch_size=self.batch_size, batch_count=batch_count,
             branch_profile=self._profile,
             trace=self.trace,
+            overload=self.overload,
         )
+        if (self.overload is not None
+                and self.overload.admission is not None):
+            self.overload.admission.observe(report)
         result = EpochResult(epoch=self._epoch, report=report,
                              drift=drift, replanned=replanned)
         self.history.append(result)

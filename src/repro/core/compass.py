@@ -361,13 +361,15 @@ class NFCompass:
             batch_size: int = 64,
             batch_count: int = 200,
             max_width: Optional[int] = None,
-            trace=None) -> DeploymentResult:
+            trace=None, overload=None) -> DeploymentResult:
         """Deploy and simulate in one call.
 
         Returns a :class:`DeploymentResult`; the previous bare
         :class:`ThroughputLatencyReport` is its ``report`` field (and
         report attributes remain reachable on the result itself under
-        a :class:`DeprecationWarning`).
+        a :class:`DeprecationWarning`).  ``overload`` is an optional
+        :class:`~repro.overload.OverloadConfig` applied to the
+        simulation run.
         """
         trace = resolve_trace(trace)
         with trace.span("run", sfc=sfc.name, batch_size=batch_size,
@@ -385,6 +387,7 @@ class NFCompass:
                 batch_count=batch_count,
                 branch_profile=profile,
                 trace=trace,
+                overload=overload,
             )
         return DeploymentResult(plan=plan, report=report,
                                 session=session, trace=trace)

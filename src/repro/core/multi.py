@@ -57,6 +57,7 @@ class MultiTenantScheduler:
                  interference: Optional[InterferenceModel] = None,
                  cores_per_tenant: Optional[int] = None,
                  arrivals: Optional[ArrivalProcess] = None,
+                 overload=None,
                  **compass_kwargs):
         self.platform = platform or PlatformSpec()
         self.interference = interference or InterferenceModel()
@@ -64,6 +65,11 @@ class MultiTenantScheduler:
         #: Runtime-level arrival process: every co-run round applies it
         #: (decorrelated per epoch) to tenants whose spec has none.
         self.arrivals = arrivals
+        #: Optional :class:`~repro.overload.OverloadConfig` shared by
+        #: every tenant's simulation; its admission controller observes
+        #: the *bottleneck* tenant's report each :meth:`step` — the
+        #: tenant whose SLO a consolidation decision would break first.
+        self.overload = overload
         self.compass_kwargs = compass_kwargs
         self.tenants: List[Tenant] = []
         self._epochs = 0
@@ -155,6 +161,7 @@ class MultiTenantScheduler:
                 tenant.plan.deployment, spec,
                 batch_size=batch_size, batch_count=batch_count,
                 branch_profile=tenant.profile,
+                overload=self.overload,
                 **inputs,
             )
         return reports
@@ -189,6 +196,9 @@ class MultiTenantScheduler:
         reports = self.run(batch_count=batch_count)
         bottleneck = min(reports.values(),
                          key=lambda r: r.throughput_gbps)
+        if (self.overload is not None
+                and self.overload.admission is not None):
+            self.overload.admission.observe(bottleneck)
         return EpochResult(epoch=self._epochs, report=bottleneck,
                            drift=0.0, replanned=False)
 

@@ -82,6 +82,26 @@ class BurstinessRow:
     max_queue_depth: int
 
 
+#: Offered load as multiples of measured capacity for the overload
+#: sweep — from comfortable (0.8x) to twice saturation (2.0x).
+OVERLOAD_LOAD_MULTIPLES: Tuple[float, ...] = (0.8, 1.2, 1.6, 2.0)
+
+
+@dataclass
+class OverloadRow:
+    """One arrival process at one overload multiple, protected."""
+
+    mode: str
+    load_multiple: float
+    offered_gbps: float
+    throughput_gbps: float
+    goodput_gbps: float
+    drop_rate: float
+    shed_fraction: float
+    latency_p99_ms: float
+    conserved: bool
+
+
 def _prepare(system: str, nf_types: Sequence[str], packet_size: int,
              batch_size: int):
     """Build (spec, profile, session) for one system's deployment."""
@@ -190,6 +210,61 @@ def _burst_point(mode: str, capacity_gbps: float,
     )]
 
 
+def _overload_point(mode: str, load_multiple: float,
+                    capacity_gbps: float, nf_types: Sequence[str],
+                    packet_size: int, batch_size: int,
+                    batch_count: int, queue_limit: int,
+                    drop_policy: str, slo_ms: float, admission: str,
+                    burst_factor: float, duty_cycle: float,
+                    seed: int) -> List[OverloadRow]:
+    """One protected run at ``load_multiple`` x measured capacity.
+
+    All overload knobs arrive as scalars (policy/admission by name) so
+    the sweep grid stays trivially fingerprintable; the
+    :class:`~repro.overload.OverloadConfig` is built inside the point.
+    """
+    from repro.overload import (
+        OverloadConfig,
+        SLOFeedbackAdmission,
+        TokenBucketAdmission,
+        parse_drop_policy,
+    )
+
+    spec, profile, session = _prepare("nfcompass", nf_types,
+                                      packet_size, batch_size)
+    process = _arrival_process(mode, burst_factor, duty_cycle, seed)
+    loaded = replace(
+        common.at_load(spec, max(0.02, capacity_gbps * load_multiple)),
+        arrivals=process,
+    )
+    controller = None
+    if admission == "token":
+        controller = TokenBucketAdmission()
+    elif admission == "slo":
+        controller = SLOFeedbackAdmission(p99_ms=slo_ms)
+    config = OverloadConfig(queue_limit=queue_limit,
+                            drop_policy=parse_drop_policy(drop_policy),
+                            admission=controller, slo_ms=slo_ms)
+    report = session.run(loaded,
+                         batch_size=batch_size,
+                         batch_count=batch_count,
+                         branch_profile=profile,
+                         overload=config)
+    conserved = report.conservation_error \
+        <= 1e-6 * max(1.0, report.offered_packets)
+    return [OverloadRow(
+        mode=mode,
+        load_multiple=load_multiple,
+        offered_gbps=loaded.offered_gbps,
+        throughput_gbps=report.throughput_gbps,
+        goodput_gbps=report.goodput_gbps,
+        drop_rate=report.drop_rate,
+        shed_fraction=report.shed_fraction,
+        latency_p99_ms=report.latency.p99 * 1e3,
+        conserved=conserved,
+    )]
+
+
 def capacity_sweep_spec(quick: bool = True,
                         nf_types: Sequence[str] = ("firewall", "ids"),
                         packet_size: int = 256,
@@ -260,6 +335,85 @@ def burstiness_sweep_spec(capacities: List[CapacityRow],
                 "duty_cycle": duty_cycle,
                 "seed": seed},
         context=common.sweep_context(),
+    )
+
+
+def overload_sweep_spec(capacities: List[CapacityRow],
+                        quick: bool = True,
+                        nf_types: Sequence[str] = ("firewall", "ids"),
+                        packet_size: int = 256,
+                        batch_size: int = 64,
+                        modes: Sequence[str] = BURST_MODES,
+                        multiples: Sequence[float]
+                        = OVERLOAD_LOAD_MULTIPLES,
+                        queue_limit: int = 4,
+                        drop_policy: str = "tail",
+                        slo_ms: float = 2.0,
+                        admission: str = "none",
+                        burst_factor: float = 4.0,
+                        duty_cycle: float = 0.25,
+                        seed: int = 211) -> common.SweepSpec:
+    """Phase 4: graceful degradation under overload protection.
+
+    Sweeps every arrival mode across load multiples of measured
+    capacity with bounded queues and an SLO: past saturation the
+    drop rate rises while admitted traffic's p99 stays bounded —
+    the graceful-degradation curve an unprotected pipeline lacks
+    (its latency diverges with queue depth instead).
+    """
+    nfcompass = next(row.capacity_gbps for row in capacities
+                     if row.system == "nfcompass")
+    return common.SweepSpec(
+        name="load_latency.overload",
+        point=_overload_point,
+        row_type=OverloadRow,
+        grid=[{"mode": mode, "load_multiple": multiple,
+               "capacity_gbps": nfcompass}
+              for mode in modes
+              for multiple in multiples],
+        params={"nf_types": tuple(nf_types),
+                "packet_size": packet_size,
+                "batch_size": batch_size,
+                "batch_count": 60 if quick else 200,
+                "queue_limit": queue_limit,
+                "drop_policy": drop_policy,
+                "slo_ms": slo_ms,
+                "admission": admission,
+                "burst_factor": burst_factor,
+                "duty_cycle": duty_cycle,
+                "seed": seed},
+        context=common.sweep_context(),
+    )
+
+
+def run_overload(quick: bool = True,
+                 nf_types: Sequence[str] = ("firewall", "ids"),
+                 packet_size: int = 256,
+                 batch_size: int = 64,
+                 modes: Sequence[str] = BURST_MODES,
+                 multiples: Sequence[float] = OVERLOAD_LOAD_MULTIPLES,
+                 queue_limit: int = 4,
+                 drop_policy: str = "tail",
+                 slo_ms: float = 2.0,
+                 admission: str = "none",
+                 jobs: int = 1, runner=None) -> List[OverloadRow]:
+    """Overload-protected degradation curves across arrival modes."""
+    capacities = common.run_sweep(
+        capacity_sweep_spec(quick=quick, nf_types=nf_types,
+                            packet_size=packet_size,
+                            batch_size=batch_size),
+        jobs=jobs, runner=runner,
+    )
+    return common.run_sweep(
+        overload_sweep_spec(capacities, quick=quick,
+                            nf_types=nf_types,
+                            packet_size=packet_size,
+                            batch_size=batch_size, modes=modes,
+                            multiples=multiples,
+                            queue_limit=queue_limit,
+                            drop_policy=drop_policy, slo_ms=slo_ms,
+                            admission=admission),
+        jobs=jobs, runner=runner,
     )
 
 
@@ -351,8 +505,18 @@ def main(quick: bool = True, jobs: int = 1, runner=None) -> str:
         title="Burstiness at 80% mean load (same rate, different "
               "tails)",
     )
+    overload_rows = run_overload(quick=quick, jobs=jobs, runner=runner)
+    overload_table = common.format_table(
+        ["arrivals", "load", "offered Gbps", "goodput Gbps", "drop",
+         "p99 ms", "conserved"],
+        [[r.mode, f"{r.load_multiple:.1f}x", r.offered_gbps,
+          r.goodput_gbps, f"{r.drop_rate:.1%}", r.latency_p99_ms,
+          "yes" if r.conserved else "NO"] for r in overload_rows],
+        title="Graceful degradation under overload protection "
+              "(queue_limit=4, tail-drop, 2 ms SLO)",
+    )
     return (table + "\n\n" + plot + "\n" + "\n".join(notes)
-            + "\n\n" + burst_table)
+            + "\n\n" + burst_table + "\n\n" + overload_table)
 
 
 if __name__ == "__main__":

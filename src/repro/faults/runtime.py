@@ -52,6 +52,7 @@ class ResilientRuntime:
                  batch_size: int = 64,
                  readmit_epochs: int = 1,
                  arrivals: Optional[ArrivalProcess] = None,
+                 overload=None,
                  trace=None,
                  **compass_kwargs):
         if readmit_epochs < 0:
@@ -64,6 +65,12 @@ class ResilientRuntime:
         #: Runtime-level arrival process: applied (decorrelated per
         #: epoch) to every epoch spec that has no process of its own.
         self.arrivals = arrivals
+        #: Optional :class:`~repro.overload.OverloadConfig` applied to
+        #: every epoch.  Its circuit breaker spans epochs — a device
+        #: tripped by one epoch's crash window stays fenced into the
+        #: next until its cooldown elapses — and its admission
+        #: controller observes every epoch report.
+        self.overload = overload
         self.readmit_epochs = readmit_epochs
         self.trace = resolve_trace(trace)
         self.compass_kwargs = compass_kwargs
@@ -196,7 +203,11 @@ class ResilientRuntime:
             branch_profile=self._profile,
             trace=self.trace,
             faults=epoch_faults,
+            overload=self.overload,
         )
+        if (self.overload is not None
+                and self.overload.admission is not None):
+            self.overload.admission.observe(report)
         self.clock = t1
         result = EpochResult(epoch=self._epoch, report=report,
                              drift=0.0, replanned=replanned)

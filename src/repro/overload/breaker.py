@@ -1,0 +1,175 @@
+"""Circuit-broken offload dispatch.
+
+PR 8's :class:`~repro.faults.runtime.ResilientRuntime` reacts to
+device failures at *epoch* granularity (replan around the crashed
+device next epoch).  Inside an epoch, every batch dispatched to a
+crashed or degraded device still pays the full timeout before falling
+back to the host.  The classes here give the kernel per-batch
+containment:
+
+- :class:`RetryPolicy` — a failed offload attempt (crash window, or a
+  link degraded past ``timeout_stretch``) is retried against the
+  device with bounded exponential backoff, up to ``budget`` retries;
+  exhaustion falls back to the host re-queue path.  Backoff and the
+  timeout itself are expressed in multiples of the attempt's estimated
+  execution window, so the policy is scale-free across cost models.
+
+- :class:`CircuitBreaker` — after ``failure_threshold`` *consecutive*
+  failed dispatches to one device the breaker trips open: further
+  batches skip the device (and its timeout!) entirely and go straight
+  to the host.  After a cooldown the breaker goes half-open and lets
+  one probe batch through; a probe success closes the breaker, a probe
+  failure re-opens it for another cooldown.
+
+Both are plain state machines over the *simulated* clock — no wall
+time, no randomness — so runs remain deterministic and serial ==
+parallel in every sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Breaker states (per device).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry discipline for failed offload dispatches.
+
+    ``budget`` is the number of *re*-dispatches after the first failed
+    attempt; ``budget=0`` falls back to the host on the first failure.
+    The ``attempt``-th retry waits ``min(backoff_cap, backoff_base *
+    2**attempt)`` execution windows before re-dispatching.  A link
+    whose stretch factor reaches ``timeout_stretch`` counts as a
+    timeout even though the transfer would eventually finish.
+    """
+
+    budget: int = 2
+    backoff_base: float = 0.5
+    backoff_cap: float = 4.0
+    timeout_stretch: float = math.inf
+
+    def __post_init__(self):
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.timeout_stretch <= 1.0:
+            raise ValueError("timeout_stretch must exceed 1.0")
+
+    def backoff_seconds(self, attempt: int, window: float) -> float:
+        """Backoff before retry ``attempt`` (0-based), in seconds."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** attempt)) * window
+
+
+class _DeviceState:
+    __slots__ = ("state", "failures", "opened_at", "cooldown")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.cooldown = 0.0
+
+
+class CircuitBreaker:
+    """Per-device consecutive-failure breaker on the simulated clock.
+
+    ``cooldown`` is ``cooldown_s`` seconds when given, else
+    ``cooldown_windows`` multiples of the failing dispatch's estimated
+    execution window (scale-free default).  The breaker is shared
+    across runs on purpose: an epoch loop that trips it keeps the
+    device fenced into the next epoch until a half-open probe
+    succeeds.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_windows: float = 16.0,
+                 cooldown_s: Optional[float] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_windows <= 0:
+            raise ValueError("cooldown_windows must be positive")
+        if cooldown_s is not None and cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_windows = cooldown_windows
+        self.cooldown_s = cooldown_s
+        self._devices: Dict[str, _DeviceState] = {}
+        #: Closed/half-open -> open transitions over the breaker's life.
+        self.trips = 0
+
+    def _state_for(self, device_id: str) -> _DeviceState:
+        state = self._devices.get(device_id)
+        if state is None:
+            state = self._devices[device_id] = _DeviceState()
+        return state
+
+    def state(self, device_id: str) -> str:
+        """The device's current nominal state (no clock applied)."""
+        return self._state_for(device_id).state
+
+    def allow(self, device_id: str, now: float) -> bool:
+        """May a batch be dispatched to ``device_id`` at sim-time
+        ``now``?  An open breaker whose cooldown has elapsed moves to
+        half-open and admits the caller as its probe."""
+        device = self._state_for(device_id)
+        if device.state == OPEN:
+            if now >= device.opened_at + device.cooldown:
+                device.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_failure(self, device_id: str, now: float,
+                       window: float) -> None:
+        """One failed dispatch observed at ``now`` whose estimated
+        execution window was ``window`` seconds."""
+        device = self._state_for(device_id)
+        device.failures += 1
+        if (device.state == HALF_OPEN
+                or device.failures >= self.failure_threshold):
+            device.state = OPEN
+            device.opened_at = now
+            device.cooldown = (self.cooldown_s
+                               if self.cooldown_s is not None
+                               else self.cooldown_windows * window)
+            device.failures = 0
+            self.trips += 1
+
+    def record_success(self, device_id: str) -> None:
+        device = self._state_for(device_id)
+        device.failures = 0
+        if device.state == HALF_OPEN:
+            device.state = CLOSED
+
+    def open_devices(self) -> Dict[str, float]:
+        """Device id -> re-probe time for every currently open device."""
+        return {
+            device_id: device.opened_at + device.cooldown
+            for device_id, device in sorted(self._devices.items())
+            if device.state == OPEN
+        }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(threshold={self.failure_threshold}, "
+                f"trips={self.trips}, "
+                f"open={sorted(self.open_devices())})")
+
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "OPEN",
+    "RetryPolicy",
+]

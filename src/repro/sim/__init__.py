@@ -17,7 +17,12 @@ from repro.sim.metrics import (
 )
 from repro.sim.kernel import ResourceTimeline, SimulationSession
 from repro.sim.engine import SimulationEngine, BranchProfile
-from repro.sim.tracing import EventRecorder, NodeEvent, BatchEvent
+from repro.sim.tracing import (
+    EventRecorder,
+    NodeEvent,
+    BatchEvent,
+    RequeueEvent,
+)
 
 __all__ = [
     "Placement",
@@ -34,4 +39,5 @@ __all__ = [
     "EventRecorder",
     "NodeEvent",
     "BatchEvent",
+    "RequeueEvent",
 ]

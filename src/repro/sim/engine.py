@@ -146,7 +146,8 @@ class SimulationEngine:
             cpu_time_inflation: float = 1.0,
             co_run_pressure_bytes: float = 0.0,
             gpu_corun_kernels: int = 0,
-            recorder=None, trace=None) -> ThroughputLatencyReport:
+            recorder=None, trace=None,
+            overload=None) -> ThroughputLatencyReport:
         """Simulate ``batch_count`` batches of ``batch_size`` packets.
 
         One-shot convenience over :meth:`session`; see
@@ -161,6 +162,7 @@ class SimulationEngine:
             gpu_corun_kernels=gpu_corun_kernels,
             recorder=recorder,
             trace=trace,
+            overload=overload,
         )
 
     # ------------------------------------------------------------------

@@ -36,7 +36,8 @@ original loop intact.
 from __future__ import annotations
 
 import dataclasses
-from bisect import bisect_right
+from bisect import bisect_right, insort
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from repro.elements.offload import OffloadableElement
@@ -118,11 +119,24 @@ class ResourceTimeline:
     timeline accumulates per-resource queueing delay (``start -
     ready`` per task) and task counts, which feed the bottleneck
     fields of :class:`~repro.sim.metrics.ThroughputLatencyReport`.
+
+    An optional ``queue_limit`` bounds how many tasks may be *waiting*
+    (ready but not started) on one resource at once.  The timeline
+    itself never rejects work — scheduling semantics and placements
+    are byte-identical whatever the limit — it only answers
+    :meth:`would_overflow` so the simulation loop can apply its drop
+    policy before committing a batch.  With ``queue_limit=None``
+    (default) the occupancy index is never built and the schedule path
+    is unchanged.
     """
 
-    __slots__ = ("_lanes", "busy", "queue_wait", "task_counts", "_waits")
+    __slots__ = ("_lanes", "busy", "queue_wait", "task_counts", "_waits",
+                 "queue_limit", "_pending_ready", "_pending_start")
 
-    def __init__(self):
+    def __init__(self, queue_limit: Optional[int] = None):
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.queue_limit = queue_limit
         self._lanes: Dict[str, _Lane] = {}
         self.busy: Dict[str, float] = {}
         self.queue_wait: Dict[str, float] = {}
@@ -131,6 +145,15 @@ class ResourceTimeline:
         # zero-wait tasks are not recorded, so the common uncongested
         # path stays allocation-free.
         self._waits: Dict[str, List[Tuple[float, float]]] = {}
+        # Sorted wait-span endpoints for queue_limit occupancy
+        # queries: a task waits over the half-open span
+        # [ready, start), so the depth at t is
+        # count(ready <= t) - count(start <= t) — two bisects instead
+        # of a scan, which matters because under sustained overload
+        # the live backlog grows with the run.  Kept separate from
+        # _waits, whose full history feeds max_queue_depths.
+        self._pending_ready: Dict[str, List[float]] = {}
+        self._pending_start: Dict[str, List[float]] = {}
 
     def schedule(self, resource: str, ready: float,
                  duration: float) -> Tuple[float, float]:
@@ -148,7 +171,28 @@ class ResourceTimeline:
         self.task_counts[resource] = self.task_counts.get(resource, 0) + 1
         if start > ready:
             self._waits.setdefault(resource, []).append((ready, start))
+            if self.queue_limit is not None:
+                insort(self._pending_ready.setdefault(resource, []),
+                       ready)
+                insort(self._pending_start.setdefault(resource, []),
+                       start)
         return start, end
+
+    def waiting_depth(self, resource: str, t: float) -> int:
+        """Tasks waiting (ready but not started) on ``resource`` at
+        ``t``.  Only meaningful with a ``queue_limit`` (the occupancy
+        index is not maintained otherwise)."""
+        readies = self._pending_ready.get(resource)
+        if not readies:
+            return 0
+        starts = self._pending_start[resource]
+        return bisect_right(readies, t) - bisect_right(starts, t)
+
+    def would_overflow(self, resource: str, t: float) -> bool:
+        """True when admitting one more waiter at ``t`` would exceed
+        the ``queue_limit``."""
+        return (self.queue_limit is not None
+                and self.waiting_depth(resource, t) >= self.queue_limit)
 
     def max_queue_depths(self) -> Dict[str, int]:
         """Peak number of simultaneously waiting tasks per resource.
@@ -201,6 +245,178 @@ class _Token:
     def __init__(self, ready: float, packets: float):
         self.ready = ready
         self.packets = packets
+
+
+class _InFlight:
+    """One admitted batch's deliverables, kept until it completes.
+
+    Head-drop sacrifices the oldest of these: its delivery is
+    cancelled at settlement (packets move to dropped, the latency
+    sample at ``latency_index`` is withdrawn).  The busy time it
+    committed is sunk — the schedule is never retracted.
+    """
+
+    __slots__ = ("batch_index", "completion", "delivered", "bytes",
+                 "slo_bytes", "latency_index")
+
+    def __init__(self, batch_index: int, completion: float,
+                 delivered: float, nbytes: float, slo_bytes: float,
+                 latency_index: int):
+        self.batch_index = batch_index
+        self.completion = completion
+        self.delivered = delivered
+        self.bytes = nbytes
+        self.slo_bytes = slo_bytes
+        self.latency_index = latency_index
+
+
+class _OverloadState:
+    """Per-run overload bookkeeping (one instance per ``_run`` call).
+
+    Holds the run-scoped ledgers (sheds, per-resource queue drops,
+    head-drop cancellations, retry/breaker counts) plus the live
+    in-flight window and the smoothed span estimate deadline-drop
+    projects completions with.  The admission controller, breaker and
+    retry policy objects live on the :class:`OverloadConfig` and are
+    deliberately *not* reset here — they carry state across epochs.
+    """
+
+    #: EWMA weight of the newest per-batch span sample.
+    _SPAN_ALPHA = 0.3
+
+    __slots__ = (
+        "config", "admission", "breaker", "retry", "queue_limit",
+        "policy", "deadline_seconds", "ingress_resource", "queue_drops",
+        "queue_dropped_batches", "shed_batches", "shed_packets",
+        "head_cancelled", "retry_attempts", "breaker_open_requeues",
+        "retry_exhausted_requeues", "slo_delivered", "inflight",
+        "cancelled", "ewma_span", "max_completion", "trips_before",
+    )
+
+    def __init__(self, config, ingress_resource: str):
+        self.config = config
+        self.admission = config.admission
+        self.breaker = config.breaker
+        self.retry = config.retry
+        self.queue_limit = config.queue_limit
+        self.policy = config.drop_policy
+        self.deadline_seconds = config.deadline_seconds
+        self.ingress_resource = ingress_resource
+        self.queue_drops: Dict[str, float] = {}
+        self.queue_dropped_batches = 0
+        self.shed_batches = 0
+        self.shed_packets = 0.0
+        self.head_cancelled = 0
+        self.retry_attempts = 0
+        self.breaker_open_requeues = 0
+        self.retry_exhausted_requeues = 0
+        self.slo_delivered = 0.0
+        self.inflight: "deque[_InFlight]" = deque()
+        self.cancelled: List[_InFlight] = []
+        self.ewma_span: Optional[float] = None
+        self.max_completion = 0.0
+        self.trips_before = (config.breaker.trips
+                             if config.breaker is not None else 0)
+
+    def note_queue_drop(self, resource: str, packets: float,
+                        events: int = 1) -> None:
+        self.queue_drops[resource] = (
+            self.queue_drops.get(resource, 0.0) + packets
+        )
+        self.queue_dropped_batches += events
+
+    def ingress(self, batch_index: int, arrival: float, packets: float,
+                timeline: ResourceTimeline
+                ) -> Tuple[Optional[str], Optional[_InFlight]]:
+        """Admission + ingress-queue policy for one arriving batch.
+
+        Returns ``(verdict, entry)``: verdict ``None`` admits the
+        batch normally, ``"shed"`` means the admission controller
+        rejected it, ``"drop"`` means the bounded ingress queue
+        overflowed and the policy sacrificed the arrival, and
+        ``"swap"`` (head-drop) means the arrival takes over the
+        returned sacrificed batch's committed service slot — the old
+        batch's delivery is cancelled, the newcomer inherits its
+        completion, and no new busy time is scheduled.
+        """
+        if self.queue_limit is not None:
+            # Batch arrivals are non-decreasing, so the in-flight
+            # window can be pruned against the arrival clock.
+            inflight = self.inflight
+            while inflight and inflight[0].completion <= arrival:
+                inflight.popleft()
+        if (self.admission is not None
+                and not self.admission.admit(batch_index, arrival,
+                                             packets)):
+            self.shed_batches += 1
+            self.shed_packets += packets
+            return "shed", None
+        if (self.queue_limit is None
+                or not timeline.would_overflow(self.ingress_resource,
+                                               arrival)):
+            return None, None
+        policy_name = self.policy.name
+        if policy_name == "head":
+            if self.inflight:
+                entry = self.inflight.popleft()
+                self.cancelled.append(entry)
+                self.head_cancelled += 1
+                return "swap", entry
+            # Nothing in flight to sacrifice (the backlog is all
+            # still-waiting work): degrade to tail-drop.
+        elif policy_name == "deadline":
+            if self.ewma_span is None:
+                return None, None  # no span estimate yet; admit
+            projected = max(arrival, self.max_completion) \
+                + self.ewma_span
+            if projected - arrival <= self.deadline_seconds:
+                return None, None  # projected to meet the SLO; admit
+        self.note_queue_drop(self.ingress_resource, packets)
+        return "drop", None
+
+    def note_swapped(self, batch_index: int, arrival: float,
+                     inherited: _InFlight, latency_index: int,
+                     slo_seconds: Optional[float]) -> None:
+        """Track a head-drop newcomer that took over ``inherited``'s
+        service slot: same completion and deliverables, fresher
+        arrival (so a shorter latency and its own SLO verdict)."""
+        slo_bytes = inherited.bytes
+        if (slo_seconds is not None
+                and inherited.completion - arrival > slo_seconds):
+            slo_bytes = 0.0
+        self.slo_delivered += slo_bytes
+        self.inflight.append(_InFlight(batch_index,
+                                       inherited.completion,
+                                       inherited.delivered,
+                                       inherited.bytes, slo_bytes,
+                                       latency_index))
+
+    def note_delivered(self, batch_index: int, arrival: float,
+                       completion: float, delivered: float,
+                       nbytes: float, latency_index: int,
+                       slo_seconds: Optional[float]) -> None:
+        """Track one delivered batch for SLO goodput and head/deadline
+        policy state."""
+        slo_bytes = nbytes
+        if (slo_seconds is not None
+                and completion - arrival > slo_seconds):
+            slo_bytes = 0.0
+        self.slo_delivered += slo_bytes
+        if self.queue_limit is None:
+            return
+        span = completion - max(arrival, self.max_completion)
+        if span < 0.0:
+            span = 0.0
+        self.ewma_span = (
+            span if self.ewma_span is None
+            else (1.0 - self._SPAN_ALPHA) * self.ewma_span
+            + self._SPAN_ALPHA * span
+        )
+        if completion > self.max_completion:
+            self.max_completion = completion
+        self.inflight.append(_InFlight(batch_index, completion,
+                                       delivered, nbytes, slo_bytes,
+                                       latency_index))
 
 
 class _OffloadLeg:
@@ -346,6 +562,7 @@ class SimulationSession:
         graph = deployment.graph
         self.order: List[str] = graph.topological_order()
         self.source_nodes: Tuple[str, ...] = tuple(graph.sources())
+        self.source_set = frozenset(self.source_nodes)
         self.sink_nodes = frozenset(graph.sinks())
         self.stateful_reassembly = deployment.stateful_reassembly
         self.plans: Dict[str, _NodePlan] = {}
@@ -396,6 +613,13 @@ class SimulationSession:
         #: ``batches`` and the schedule's ``peak_rate_gbps`` (the
         #: offered burst peak, not the delivered throughput).
         self.last_traffic_stats: Optional[Dict[str, float]] = None
+        #: Overload accounting of the most recent :meth:`run`:
+        #: ``None`` when the run had no (or a no-op) overload config,
+        #: else a dict with ``shed_batches``/``shed_packets``/
+        #: ``queue_dropped_batches``/``queue_dropped_packets``/
+        #: ``head_cancelled``/``breaker_trips``/``retry_attempts``/
+        #: ``breaker_open_requeues``/``retry_exhausted_requeues``.
+        self.last_overload_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def _branch_tables(self, profile):
@@ -425,7 +649,7 @@ class SimulationSession:
             co_run_pressure_bytes: float = 0.0,
             gpu_corun_kernels: int = 0,
             recorder=None, trace=None,
-            faults=None) -> ThroughputLatencyReport:
+            faults=None, overload=None) -> ThroughputLatencyReport:
         """Simulate ``batch_count`` batches of ``batch_size`` packets.
 
         ``cpu_time_inflation``, ``co_run_pressure_bytes`` and
@@ -446,6 +670,15 @@ class SimulationSession:
         durations, and slowdown windows stretch kernel time.  With no
         timeline (or an empty one) the fault path is never entered and
         the schedule is bit-identical to a fault-free run.
+
+        ``overload`` is an optional
+        :class:`~repro.overload.OverloadConfig`: a bounded
+        ``queue_limit`` drops overflowing batches by its drop policy,
+        an admission controller sheds batches at arrival, and a
+        circuit breaker / retry policy wraps every offload-leg
+        dispatch.  A no-op config (all fields ``None``) is normalized
+        to ``overload=None``, keeping the unprotected path
+        bit-identical to the historical kernel.
         """
         trace = resolve_trace(trace)
         with trace.span("simulate", deployment=self.deployment.name,
@@ -454,7 +687,7 @@ class SimulationSession:
             report = self._run(spec, batch_size, batch_count,
                                branch_profile, cpu_time_inflation,
                                co_run_pressure_bytes, gpu_corun_kernels,
-                               recorder, faults)
+                               recorder, faults, overload)
         self.runs_completed += 1
         if self.runs_completed > 1:
             trace.count("session.cache_hits")
@@ -473,6 +706,13 @@ class SimulationSession:
                         stats["degraded_transfers"])
             trace.count("fault.slowed_kernels",
                         stats["slowed_kernels"])
+        ostats = self.last_overload_stats
+        if ostats is not None:
+            trace.count("overload.drops",
+                        ostats["queue_dropped_batches"])
+            trace.count("overload.sheds", ostats["shed_batches"])
+            trace.count("breaker.trips", ostats["breaker_trips"])
+            trace.count("retry.attempts", ostats["retry_attempts"])
         if recorder is not None and trace.enabled:
             self._bridge_recorder(trace, recorder, sim_span.span_id)
         return report
@@ -480,7 +720,8 @@ class SimulationSession:
     def _run(self, spec: TrafficSpec, batch_size: int, batch_count: int,
              branch_profile, cpu_time_inflation: float,
              co_run_pressure_bytes: float, gpu_corun_kernels: int,
-             recorder, faults=None) -> ThroughputLatencyReport:
+             recorder, faults=None,
+             overload=None) -> ThroughputLatencyReport:
         if branch_profile is None:
             from repro.sim.engine import BranchProfile
             branch_profile = BranchProfile()
@@ -488,6 +729,11 @@ class SimulationSession:
             # An empty timeline takes the exact fault-free code path,
             # keeping the schedule bit-identical to faults=None.
             faults = None
+        if overload is not None and overload.is_noop:
+            # Same normalization as empty fault timelines: a config
+            # that cannot alter the run takes the exact historical
+            # code path (golden-parity suite).
+            overload = None
         self.last_fault_stats = None if faults is None else {
             "requeued_batches": 0,
             "requeued_packets": 0.0,
@@ -495,7 +741,23 @@ class SimulationSession:
             "degraded_transfers": 0,
             "slowed_kernels": 0,
         }
-        timeline = ResourceTimeline()
+        self.last_overload_stats = None
+        state: Optional[_OverloadState] = None
+        slo_seconds: Optional[float] = None
+        if overload is not None:
+            timeline = ResourceTimeline(queue_limit=overload.queue_limit)
+            # The ingress queue is the first source node's host core;
+            # batch-level admission and drop decisions are made there.
+            ingress = self.plans[self.source_nodes[0]].host_resource
+            state = _OverloadState(overload, ingress)
+            if overload.slo_ms is not None:
+                slo_seconds = overload.slo_ms * 1e-3
+            if overload.admission is not None:
+                overload.admission.start_run(
+                    batch_size * spec.mean_packet_interval()
+                )
+        else:
+            timeline = ResourceTimeline()
         overheads = OverheadBreakdown()
         drops, fan_out = self._branch_tables(branch_profile)
         mean_bytes = spec.size_law.mean()
@@ -517,9 +779,48 @@ class SimulationSession:
         dropped_packets = 0.0
         latencies: List[float] = []
         last_completion = 0.0
+        batch_packets = float(batch_size) * len(self.source_nodes)
+        offered_packets = batch_packets * batch_count
 
         for batch_index in range(batch_count):
             arrival = arrival_times[batch_index]
+            if state is not None:
+                verdict, inherited = state.ingress(batch_index, arrival,
+                                                   batch_packets,
+                                                   timeline)
+                if verdict == "swap":
+                    # Head-drop: the newcomer takes over the sacrificed
+                    # batch's committed service slot — it inherits the
+                    # completion and deliverables without scheduling
+                    # any new busy time; the old batch's delivery is
+                    # withdrawn at settlement.
+                    completion = inherited.completion
+                    delivered = inherited.delivered
+                    if recorder is not None:
+                        recorder.record_batch(batch_index, arrival,
+                                              completion, delivered)
+                    if delivered > _EPSILON_PACKETS:
+                        delivered_packets += delivered
+                        delivered_bytes += inherited.bytes
+                        latencies.append(completion - arrival)
+                        last_completion = max(last_completion,
+                                              completion)
+                        state.note_swapped(batch_index, arrival,
+                                           inherited,
+                                           len(latencies) - 1,
+                                           slo_seconds)
+                    # The newcomer's own NF-dropped share mirrors the
+                    # batch it replaced (all batches are identical in
+                    # the analytic model).
+                    dropped_packets += batch_packets - delivered
+                    continue
+                if verdict is not None:
+                    # Shed or dropped at ingress: the batch never
+                    # enters the pipeline (no busy time, no events).
+                    if recorder is not None:
+                        recorder.record_batch(batch_index, arrival,
+                                              arrival, 0.0)
+                    continue
             inbox: Dict[str, List[_Token]] = {n: [] for n in self.order}
             for node in self.source_nodes:
                 inbox[node].append(_Token(ready=arrival,
@@ -535,13 +836,24 @@ class SimulationSession:
                 if packets <= _EPSILON_PACKETS:
                     continue
                 plan = self.plans[node_id]
+                if (state is not None and state.queue_limit is not None
+                        and node_id not in self.source_set
+                        and timeline.would_overflow(plan.host_resource,
+                                                    ready)):
+                    # Interior bounded queue overflowed: the token is
+                    # dropped tail-wise whatever the ingress policy
+                    # (there is no per-resource arrival order to
+                    # re-sequence mid-pipeline).
+                    state.note_queue_drop(plan.host_resource, packets)
+                    continue
                 if len(tokens) > 1:
                     ready = self._merge_step(plan, ready, packets,
                                              timeline, overheads)
                 completion = self._service_step(
                     plan, ready, packets, mean_bytes, spec, timeline,
                     overheads, cpu_time_inflation, co_run_pressure_bytes,
-                    gpu_corun_kernels, faults,
+                    gpu_corun_kernels, faults, state, recorder,
+                    batch_index,
                 )
                 if recorder is not None:
                     recorder.record_node(batch_index, node_id, ready,
@@ -571,6 +883,49 @@ class SimulationSession:
                 delivered_bytes += batch_delivered * mean_bytes
                 latencies.append(batch_completion - arrival)
                 last_completion = max(last_completion, batch_completion)
+                if state is not None:
+                    state.note_delivered(batch_index, arrival,
+                                         batch_completion,
+                                         batch_delivered,
+                                         batch_delivered * mean_bytes,
+                                         len(latencies) - 1,
+                                         slo_seconds)
+
+        shed_packets = 0.0
+        slo_delivered_bytes = 0.0
+        queue_drops: Dict[str, float] = {}
+        if state is not None:
+            # Settle head-drop cancellations: the sacrificed batches'
+            # deliveries are withdrawn (their busy time is sunk) and
+            # their packets become ingress queue drops.
+            for entry in state.cancelled:
+                delivered_packets -= entry.delivered
+                delivered_bytes -= entry.bytes
+                state.slo_delivered -= entry.slo_bytes
+                latencies[entry.latency_index] = None
+                state.note_queue_drop(state.ingress_resource,
+                                      entry.delivered)
+            if state.cancelled:
+                latencies = [s for s in latencies if s is not None]
+            queue_drops = state.queue_drops
+            shed_packets = state.shed_packets
+            dropped_packets += shed_packets \
+                + sum(queue_drops.values())
+            slo_delivered_bytes = state.slo_delivered
+            breaker = state.breaker
+            self.last_overload_stats = {
+                "shed_batches": state.shed_batches,
+                "shed_packets": state.shed_packets,
+                "queue_dropped_batches": state.queue_dropped_batches,
+                "queue_dropped_packets": sum(queue_drops.values()),
+                "head_cancelled": state.head_cancelled,
+                "breaker_trips": (breaker.trips - state.trips_before
+                                  if breaker is not None else 0),
+                "retry_attempts": state.retry_attempts,
+                "breaker_open_requeues": state.breaker_open_requeues,
+                "retry_exhausted_requeues":
+                    state.retry_exhausted_requeues,
+            }
 
         makespan = max(last_completion, horizon)
         self.last_timeline = timeline
@@ -587,6 +942,11 @@ class SimulationSession:
             processor_queue_wait_seconds=dict(timeline.queue_wait),
             latency_samples=sorted(latencies),
             max_queue_depth=timeline.max_queue_depths(),
+            offered_packets=offered_packets,
+            shed_packets=shed_packets,
+            drops=dict(queue_drops),
+            slo_ms=None if overload is None else overload.slo_ms,
+            slo_delivered_bytes=slo_delivered_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -636,7 +996,8 @@ class SimulationSession:
                       cpu_time_inflation: float,
                       co_run_pressure_bytes: float,
                       gpu_corun_kernels: int,
-                      faults=None) -> float:
+                      faults=None, overload_state=None,
+                      recorder=None, batch_index: int = 0) -> float:
         """Schedule one node's service; return its completion time."""
         host_packets = packets * plan.host_share
 
@@ -662,7 +1023,9 @@ class SimulationSession:
                                              leg_packets, mean_bytes,
                                              spec, timeline, overheads,
                                              gpu_corun_kernels,
-                                             cpu_time_inflation, faults)
+                                             cpu_time_inflation, faults,
+                                             overload_state, recorder,
+                                             batch_index)
                 completion = max(completion, leg_end)
 
         if plan.needs_partial_merge:
@@ -690,7 +1053,8 @@ class SimulationSession:
                       overheads: OverheadBreakdown,
                       gpu_corun_kernels: int,
                       cpu_time_inflation: float = 1.0,
-                      faults=None) -> float:
+                      faults=None, overload_state=None,
+                      recorder=None, batch_index: int = 0) -> float:
         stats = BatchStats(
             batch_size=max(1, round(leg_packets)),
             mean_packet_bytes=mean_bytes,
@@ -704,6 +1068,14 @@ class SimulationSession:
         h2d = timing.h2d if leg.pays_h2d else 0.0
         d2h = timing.d2h if leg.pays_d2h else 0.0
         kernel_service = timing.kernel
+        if overload_state is not None and (
+                overload_state.breaker is not None
+                or overload_state.retry is not None):
+            return self._dispatch_step(
+                plan, leg, ready, leg_packets, mean_bytes, spec,
+                timeline, overheads, cpu_time_inflation, faults,
+                overload_state, recorder, batch_index, h2d, d2h, timing,
+            )
         if faults is not None:
             # Decide the batch's fate against the *estimated* execution
             # window.  The estimate ignores queueing (the real window
@@ -714,10 +1086,16 @@ class SimulationSession:
             window_end = ready + h2d + timing.launch + kernel_service \
                 + d2h
             if faults.crashed_during(leg.device_id, ready, window_end):
-                return self._requeue_step(plan, leg, ready, leg_packets,
-                                          mean_bytes, spec, timeline,
-                                          overheads, cpu_time_inflation,
-                                          faults)
+                completion = self._requeue_step(
+                    plan, leg, ready, leg_packets, mean_bytes, spec,
+                    timeline, overheads, cpu_time_inflation, faults,
+                )
+                if recorder is not None:
+                    recorder.record_requeue(batch_index, plan.node_id,
+                                            leg.device_id,
+                                            "fault_crash", ready,
+                                            leg_packets)
+                return completion
             stretch = faults.link_stretch(leg.device_id, ready)
             if stretch > 1.0 and (h2d > 0 or d2h > 0):
                 h2d *= stretch
@@ -745,34 +1123,150 @@ class SimulationSession:
             overheads.pcie_transfer += d2h
         return clock
 
+    def _dispatch_step(self, plan: _NodePlan, leg: _OffloadLeg,
+                       ready: float, leg_packets: float,
+                       mean_bytes: float, spec: TrafficSpec,
+                       timeline: ResourceTimeline,
+                       overheads: OverheadBreakdown,
+                       cpu_time_inflation: float, faults,
+                       state: _OverloadState, recorder,
+                       batch_index: int, h2d: float, d2h: float,
+                       timing) -> float:
+        """Circuit-broken, retry-budgeted offload dispatch.
+
+        Replaces the fire-and-requeue fault reaction when the overload
+        config carries a breaker or a retry policy.  A dispatch whose
+        estimated window intersects a crash (or whose link is degraded
+        past the retry policy's ``timeout_stretch``) *fails*: the full
+        window is paid as the timeout, the breaker records the
+        failure, and the batch is re-dispatched after a bounded
+        exponential backoff until the retry budget runs out — then it
+        falls back to the host re-queue path.  An open breaker skips
+        the device (and the timeout) entirely.
+        """
+        breaker = state.breaker
+        retry = state.retry
+        kernel_service = timing.kernel
+        window = h2d + timing.launch + kernel_service + d2h
+        budget = retry.budget if retry is not None else 0
+        attempt = 0
+        clock = ready
+        while True:
+            if (breaker is not None
+                    and not breaker.allow(leg.device_id, clock)):
+                state.breaker_open_requeues += 1
+                completion = self._requeue_step(
+                    plan, leg, clock, leg_packets, mean_bytes, spec,
+                    timeline, overheads, cpu_time_inflation, faults,
+                    cause="breaker_open",
+                )
+                if recorder is not None:
+                    recorder.record_requeue(batch_index, plan.node_id,
+                                            leg.device_id,
+                                            "breaker_open", clock,
+                                            leg_packets)
+                return completion
+            failed = False
+            if faults is not None:
+                if faults.crashed_during(leg.device_id, clock,
+                                         clock + window):
+                    failed = True
+                elif (retry is not None
+                        and (h2d > 0 or d2h > 0)
+                        and faults.link_stretch(leg.device_id, clock)
+                        >= retry.timeout_stretch):
+                    failed = True
+            if not failed:
+                break
+            observed = clock + window  # the timeout is paid in full
+            if breaker is not None:
+                breaker.record_failure(leg.device_id, observed, window)
+            if attempt >= budget:
+                cause = ("retry_exhausted" if retry is not None
+                         else "fault_crash")
+                if retry is not None:
+                    state.retry_exhausted_requeues += 1
+                completion = self._requeue_step(
+                    plan, leg, observed, leg_packets, mean_bytes, spec,
+                    timeline, overheads, cpu_time_inflation, faults,
+                    cause=cause,
+                )
+                if recorder is not None:
+                    recorder.record_requeue(batch_index, plan.node_id,
+                                            leg.device_id, cause,
+                                            observed, leg_packets)
+                return completion
+            state.retry_attempts += 1
+            clock = observed + retry.backoff_seconds(attempt, window)
+            attempt += 1
+        if breaker is not None:
+            breaker.record_success(leg.device_id)
+        # Successful dispatch: the legacy degradation path, from the
+        # (possibly backed-off) dispatch time.
+        if faults is not None:
+            stretch = faults.link_stretch(leg.device_id, clock)
+            if stretch > 1.0 and (h2d > 0 or d2h > 0):
+                h2d *= stretch
+                d2h *= stretch
+                self.last_fault_stats["degraded_transfers"] += 1
+            slow = faults.slowdown(leg.device_id, clock)
+            if slow > 1.0:
+                kernel_service *= slow
+                self.last_fault_stats["slowed_kernels"] += 1
+        if h2d > 0:
+            _start, clock = timeline.schedule(leg.h2d_resource, clock,
+                                              h2d)
+            overheads.pcie_transfer += h2d
+        kernel_time = timing.launch + kernel_service
+        _start, clock = timeline.schedule(leg.device_id, clock,
+                                          kernel_time)
+        overheads.kernel_launch += timing.launch
+        overheads.gpu_kernel += kernel_service
+        if d2h > 0:
+            _start, clock = timeline.schedule(leg.d2h_resource, clock,
+                                              d2h)
+            overheads.pcie_transfer += d2h
+        return clock
+
     def _requeue_step(self, plan: _NodePlan, leg: _OffloadLeg,
                       ready: float, leg_packets: float,
                       mean_bytes: float, spec: TrafficSpec,
                       timeline: ResourceTimeline,
                       overheads: OverheadBreakdown,
-                      cpu_time_inflation: float, faults) -> float:
-        """Service a crashed leg's batch share on the host core.
+                      cpu_time_inflation: float, faults,
+                      cause: str = "fault_crash") -> float:
+        """Service a bypassed leg's batch share on the host core.
 
         The re-queued batch pays the host service time scaled by the
         timeline's ``requeue_penalty`` (re-submission, cold caches, no
         device batching) and never touches the crashed device or its
         DMA lanes — a device crashed for a whole run therefore shows
-        zero busy time.
+        zero busy time.  ``cause`` attributes the re-queue: only
+        ``fault_crash`` re-queues count into ``last_fault_stats``;
+        breaker/retry causes are ledgered by the overload state.  A
+        breaker can stay open into a run without a fault timeline, so
+        ``faults`` may be ``None`` here (the default penalty applies).
         """
         stats = BatchStats(
             batch_size=max(1, round(leg_packets)),
             mean_packet_bytes=mean_bytes,
             match_profile=spec.match_profile,
         )
+        if faults is not None:
+            penalty = faults.requeue_penalty
+        else:
+            from repro.faults.spec import DEFAULT_REQUEUE_PENALTY
+            penalty = DEFAULT_REQUEUE_PENALTY
         service = self.cost.cpu_batch_seconds(plan.element, stats) \
-            * cpu_time_inflation * faults.requeue_penalty
+            * cpu_time_inflation * penalty
         _start, completion = timeline.schedule(plan.host_resource,
                                                ready, service)
         overheads.cpu_compute += service
         stats_dict = self.last_fault_stats
-        stats_dict["requeued_batches"] += 1
-        stats_dict["requeued_packets"] += leg_packets
-        stats_dict["requeue_seconds"] += service
+        if cause == "fault_crash" and stats_dict is not None:
+            stats_dict["requeued_batches"] += 1
+            stats_dict["requeued_packets"] += leg_packets
+            stats_dict["requeue_seconds"] += service
         return completion
 
     def _split_step(self, plan: _NodePlan, connected: int,

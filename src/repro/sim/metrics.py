@@ -179,6 +179,23 @@ class ThroughputLatencyReport:
     #: of tasks that were ever waiting (ready but not started) on the
     #: resource at once.  Resources that never queued are absent.
     max_queue_depth: Dict[str, int] = field(default_factory=dict)
+    #: Packets offered to the pipeline (batch_size x batch_count).
+    #: The conservation invariant ``offered == delivered + dropped``
+    #: holds whenever this is set (the event kernel always sets it).
+    offered_packets: float = 0.0
+    #: Packets shed by an admission controller before entering the
+    #: pipeline (a subset of ``dropped_packets``: shedding is a policy
+    #: decision, queue overflow a capacity failure).
+    shed_packets: float = 0.0
+    #: Queue-overflow drops per resource (packets), for runs with a
+    #: bounded ``queue_limit``; empty otherwise.
+    drops: Dict[str, float] = field(default_factory=dict)
+    #: The latency SLO (milliseconds) goodput is judged against, from
+    #: the run's :class:`~repro.overload.OverloadConfig`; ``None``
+    #: when the run carried no SLO (goodput then equals throughput).
+    slo_ms: Optional[float] = None
+    #: Delivered bytes whose batch latency met ``slo_ms``.
+    slo_delivered_bytes: float = 0.0
 
     @property
     def throughput_gbps(self) -> float:
@@ -198,6 +215,41 @@ class ThroughputLatencyReport:
         if total <= 0:
             return 0.0
         return self.dropped_packets / total
+
+    @property
+    def goodput_gbps(self) -> float:
+        """Delivered throughput that met the latency SLO.
+
+        With no SLO on the run this equals :attr:`throughput_gbps`;
+        with one, late-delivered bytes are excluded — the quantity
+        that plateaus (instead of collapsing) when overload protection
+        degrades gracefully.
+        """
+        if self.slo_ms is None:
+            return self.throughput_gbps
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.slo_delivered_bytes * 8 / self.makespan_seconds / 1e9
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered packets shed by admission control."""
+        if self.offered_packets <= 0:
+            return 0.0
+        return self.shed_packets / self.offered_packets
+
+    @property
+    def queue_dropped_packets(self) -> float:
+        """Total queue-overflow drops across resources."""
+        return sum(self.drops.values())
+
+    @property
+    def conservation_error(self) -> float:
+        """``|offered - delivered - dropped|``; 0.0 when untracked."""
+        if self.offered_packets <= 0:
+            return 0.0
+        return abs(self.offered_packets - self.delivered_packets
+                   - self.dropped_packets)
 
     def utilization(self) -> Dict[str, float]:
         """Busy fraction per processor over the makespan."""

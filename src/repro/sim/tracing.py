@@ -44,12 +44,38 @@ class BatchEvent:
         return self.completion - self.arrival
 
 
+#: The causes a :class:`RequeueEvent` may carry.
+REQUEUE_CAUSES = ("fault_crash", "breaker_open", "retry_exhausted")
+
+
+@dataclass(frozen=True)
+class RequeueEvent:
+    """One offload-leg share re-queued to the host, with its cause.
+
+    ``cause`` distinguishes *why* the device was bypassed:
+    ``fault_crash`` (the crash window intersected the dispatch, the
+    pre-overload behaviour), ``breaker_open`` (the circuit breaker
+    fenced the device before any timeout was paid), or
+    ``retry_exhausted`` (the retry budget ran out after repeated
+    timeouts) — so chaos regressions can tell fault re-queues from
+    overload retries.
+    """
+
+    batch_index: int
+    node_id: str
+    device_id: str
+    cause: str
+    ready: float
+    packets: float
+
+
 @dataclass
 class EventRecorder:
     """Collects node and batch events during a simulation run."""
 
     node_events: List[NodeEvent] = field(default_factory=list)
     batch_events: List[BatchEvent] = field(default_factory=list)
+    requeue_events: List[RequeueEvent] = field(default_factory=list)
 
     def record_node(self, batch_index: int, node_id: str, ready: float,
                     completion: float, packets: float) -> None:
@@ -63,6 +89,20 @@ class EventRecorder:
         self.batch_events.append(BatchEvent(
             batch_index=batch_index, arrival=arrival,
             completion=completion, delivered_packets=delivered,
+        ))
+
+    def record_requeue(self, batch_index: int, node_id: str,
+                       device_id: str, cause: str, ready: float,
+                       packets: float) -> None:
+        if cause not in REQUEUE_CAUSES:
+            raise ValueError(
+                f"unknown requeue cause {cause!r}; expected one of "
+                f"{list(REQUEUE_CAUSES)}"
+            )
+        self.requeue_events.append(RequeueEvent(
+            batch_index=batch_index, node_id=node_id,
+            device_id=device_id, cause=cause, ready=ready,
+            packets=packets,
         ))
 
     # ------------------------------------------------------------------
@@ -90,11 +130,19 @@ class EventRecorder:
         return sorted(self.events_for_batch(batch_index),
                       key=lambda e: e.completion)
 
+    def requeue_causes(self) -> Dict[str, int]:
+        """Re-queue event count per cause (absent causes omitted)."""
+        causes: Dict[str, int] = {}
+        for event in self.requeue_events:
+            causes[event.cause] = causes.get(event.cause, 0) + 1
+        return causes
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, list]:
         return {
             "node_events": [asdict(e) for e in self.node_events],
             "batch_events": [asdict(e) for e in self.batch_events],
+            "requeue_events": [asdict(e) for e in self.requeue_events],
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -113,6 +161,9 @@ class EventRecorder:
                                 for e in data.get("node_events", [])]
         recorder.batch_events = [BatchEvent(**e)
                                  for e in data.get("batch_events", [])]
+        recorder.requeue_events = [RequeueEvent(**e)
+                                   for e in data.get("requeue_events",
+                                                     [])]
         return recorder
 
     @classmethod

@@ -1,0 +1,140 @@
+"""Admission controllers: token bucket and SLO feedback."""
+
+import pytest
+
+from repro.overload import SLOFeedbackAdmission, TokenBucketAdmission
+
+
+class _Report:
+    """Minimal report stub: only .latency.p99 is observed."""
+
+    class _Latency:
+        def __init__(self, p99_s):
+            self.p99 = p99_s
+
+    def __init__(self, p99_ms):
+        self.latency = self._Latency(p99_ms * 1e-3)
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(rate_fraction=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(burst=0)
+
+    def test_bucket_starts_full_then_rate_limits(self):
+        bucket = TokenBucketAdmission(rate_fraction=0.5, burst=2)
+        bucket.start_run(mean_batch_gap=1.0)
+        # Burst capacity admits the first two back-to-back batches.
+        assert bucket.admit(0, 0.0, 64.0)
+        assert bucket.admit(1, 0.0, 64.0)
+        assert not bucket.admit(2, 0.0, 64.0)
+        # Refill at 0.5 tokens per mean gap: after 2 gaps one token.
+        assert bucket.admit(3, 2.0, 64.0)
+        assert not bucket.admit(4, 2.0, 64.0)
+
+    def test_unit_rate_admits_offered_load(self):
+        bucket = TokenBucketAdmission(rate_fraction=1.0, burst=4)
+        bucket.start_run(mean_batch_gap=0.01)
+        admitted = sum(bucket.admit(i, i * 0.01, 64.0)
+                       for i in range(100))
+        assert admitted == 100
+
+    def test_half_rate_sheds_half_under_sustained_load(self):
+        bucket = TokenBucketAdmission(rate_fraction=0.5, burst=1)
+        # Integer arrivals are float-exact, so the refill pattern is
+        # a clean admit-every-other cadence.
+        bucket.start_run(mean_batch_gap=1.0)
+        admitted = sum(bucket.admit(i, float(i), 64.0)
+                       for i in range(100))
+        assert admitted == 50
+
+    def test_start_run_resets_state(self):
+        bucket = TokenBucketAdmission(rate_fraction=1.0, burst=1)
+        bucket.start_run(mean_batch_gap=1.0)
+        first = [bucket.admit(i, float(i), 64.0) for i in range(5)]
+        bucket.start_run(mean_batch_gap=1.0)
+        second = [bucket.admit(i, float(i), 64.0) for i in range(5)]
+        assert first == second
+
+    def test_observe_is_open_loop(self):
+        bucket = TokenBucketAdmission()
+        bucket.observe(_Report(p99_ms=1e9))  # must not raise or shed
+        bucket.start_run(1.0)
+        assert bucket.admit(0, 0.0, 64.0)
+
+
+class TestSLOFeedback:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOFeedbackAdmission(p99_ms=0.0)
+        with pytest.raises(ValueError):
+            SLOFeedbackAdmission(p99_ms=1.0, backoff=1.0)
+        with pytest.raises(ValueError):
+            SLOFeedbackAdmission(p99_ms=1.0, min_fraction=0.0)
+        with pytest.raises(ValueError):
+            SLOFeedbackAdmission(p99_ms=1.0, healthy_epochs=0)
+
+    def test_violation_backs_off_multiplicatively(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0, backoff=0.5)
+        controller.observe(_Report(p99_ms=2.0))
+        assert controller.fraction == pytest.approx(0.5)
+        controller.observe(_Report(p99_ms=2.0))
+        assert controller.fraction == pytest.approx(0.25)
+
+    def test_backoff_floors_at_min_fraction(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0, backoff=0.1,
+                                          min_fraction=0.2)
+        for _ in range(10):
+            controller.observe(_Report(p99_ms=5.0))
+        assert controller.fraction == pytest.approx(0.2)
+
+    def test_recovery_is_hysteretic(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0, backoff=0.5,
+                                          recover_step=0.1,
+                                          healthy_epochs=2)
+        controller.observe(_Report(p99_ms=2.0))
+        assert controller.fraction == pytest.approx(0.5)
+        # One healthy epoch is not enough to recover...
+        controller.observe(_Report(p99_ms=0.5))
+        assert controller.fraction == pytest.approx(0.5)
+        # ...two consecutive healthy epochs step the fraction back up.
+        controller.observe(_Report(p99_ms=0.5))
+        assert controller.fraction == pytest.approx(0.6)
+
+    def test_violation_resets_the_healthy_streak(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0, backoff=0.5,
+                                          recover_step=0.1,
+                                          healthy_epochs=2)
+        controller.observe(_Report(p99_ms=2.0))
+        controller.observe(_Report(p99_ms=0.5))
+        controller.observe(_Report(p99_ms=2.0))  # streak broken
+        controller.observe(_Report(p99_ms=0.5))
+        assert controller.fraction == pytest.approx(0.25)
+
+    def test_error_diffusion_admits_exact_share(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0)
+        controller.fraction = 0.25
+        controller.start_run(1.0)
+        decisions = [controller.admit(i, float(i), 64.0)
+                     for i in range(100)]
+        assert sum(decisions) == 25
+        # Admissions are spread evenly, not front-loaded.
+        assert decisions[:8] == [False, False, False, True] * 2
+
+    def test_diffusion_is_deterministic_across_runs(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0)
+        controller.fraction = 0.3
+        controller.start_run(1.0)
+        first = [controller.admit(i, float(i), 64.0) for i in range(50)]
+        controller.start_run(1.0)  # accumulator resets, fraction stays
+        second = [controller.admit(i, float(i), 64.0)
+                  for i in range(50)]
+        assert first == second
+
+    def test_full_fraction_admits_everything(self):
+        controller = SLOFeedbackAdmission(p99_ms=1.0)
+        controller.start_run(1.0)
+        assert all(controller.admit(i, float(i), 64.0)
+                   for i in range(64))

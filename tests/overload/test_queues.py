@@ -1,0 +1,88 @@
+"""Drop-policy parsing and OverloadConfig validation."""
+
+import pytest
+
+from repro.overload import (
+    DROP_POLICY_NAMES,
+    CircuitBreaker,
+    DeadlineDrop,
+    HeadDrop,
+    OverloadConfig,
+    RetryPolicy,
+    SLOFeedbackAdmission,
+    TailDrop,
+    TokenBucketAdmission,
+    parse_drop_policy,
+)
+
+
+class TestParseDropPolicy:
+    def test_names(self):
+        assert parse_drop_policy("tail") == TailDrop()
+        assert parse_drop_policy("head") == HeadDrop()
+        assert parse_drop_policy("deadline") == DeadlineDrop()
+
+    def test_deadline_with_explicit_ms(self):
+        policy = parse_drop_policy("deadline:1.5")
+        assert policy == DeadlineDrop(deadline_ms=1.5)
+
+    def test_policy_names_cover_parser(self):
+        for name in DROP_POLICY_NAMES:
+            assert parse_drop_policy(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown drop policy"):
+            parse_drop_policy("random")
+
+    def test_negative_deadline_raises(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            parse_drop_policy("deadline:-2")
+
+    def test_policies_are_frozen_and_hashable(self):
+        assert len({TailDrop(), HeadDrop(), DeadlineDrop()}) == 3
+        with pytest.raises(Exception):
+            TailDrop().name = "other"
+
+
+class TestOverloadConfig:
+    def test_default_is_noop(self):
+        assert OverloadConfig().is_noop
+
+    def test_any_knob_defeats_noop(self):
+        assert not OverloadConfig(queue_limit=4).is_noop
+        assert not OverloadConfig(
+            admission=TokenBucketAdmission()).is_noop
+        assert not OverloadConfig(breaker=CircuitBreaker()).is_noop
+        assert not OverloadConfig(retry=RetryPolicy()).is_noop
+        assert not OverloadConfig(slo_ms=2.0).is_noop
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="queue_limit"):
+            OverloadConfig(queue_limit=0)
+
+    def test_slo_must_be_positive(self):
+        with pytest.raises(ValueError, match="slo_ms"):
+            OverloadConfig(slo_ms=0.0)
+
+    def test_deadline_policy_needs_a_deadline(self):
+        with pytest.raises(ValueError, match="DeadlineDrop"):
+            OverloadConfig(queue_limit=4, drop_policy=DeadlineDrop())
+
+    def test_deadline_resolution_prefers_policy_over_slo(self):
+        config = OverloadConfig(
+            queue_limit=4,
+            drop_policy=DeadlineDrop(deadline_ms=1.0),
+            slo_ms=5.0,
+        )
+        assert config.deadline_seconds == pytest.approx(1.0e-3)
+        fallback = OverloadConfig(queue_limit=4,
+                                  drop_policy=DeadlineDrop(),
+                                  slo_ms=5.0)
+        assert fallback.deadline_seconds == pytest.approx(5.0e-3)
+        assert OverloadConfig(queue_limit=4).deadline_seconds is None
+
+    def test_admission_protocol_membership(self):
+        from repro.overload import AdmissionController
+        assert isinstance(TokenBucketAdmission(), AdmissionController)
+        assert isinstance(SLOFeedbackAdmission(p99_ms=1.0),
+                          AdmissionController)

@@ -267,3 +267,92 @@ class TestConstantRateParity:
         monkeypatch.setattr(fig08, "TrafficSpec", with_constant)
         explicit = fig08._batch_point(*args)
         assert baseline == explicit
+
+
+# ---------------------------------------------------------------------------
+# Overload backward compatibility: a no-op OverloadConfig through the
+# overload plumbing must be indistinguishable — byte-for-byte in the
+# event stream — from the unprotected kernel and the frozen legacy
+# engine (the kernel normalizes it to ``overload=None``).
+# ---------------------------------------------------------------------------
+
+class TestOverloadOffParity:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_noop_config_matches_legacy(self, scenario):
+        """Kernel + default (all-None) OverloadConfig vs the frozen
+        legacy engine: identical reports, byte-identical events."""
+        from repro.overload import OverloadConfig
+
+        deployment, spec, profile = SCENARIOS[scenario]()
+        new_recorder, old_recorder = EventRecorder(), EventRecorder()
+        new = SimulationEngine().run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=new_recorder,
+            overload=OverloadConfig(),
+        )
+        old = LegacySimulationEngine().run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=old_recorder,
+        )
+        assert_reports_match(new, old)
+        assert new_recorder.to_json() == old_recorder.to_json()
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_noop_config_is_default_path(self, scenario):
+        """``overload=None`` and a default OverloadConfig take the
+        exact same path: equal event bytes and equal (==) metrics."""
+        from repro.overload import OverloadConfig
+
+        deployment, spec, profile = SCENARIOS[scenario]()
+        recorder_none, recorder_noop = EventRecorder(), EventRecorder()
+        engine = SimulationEngine()
+        none_report = engine.run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=recorder_none,
+        )
+        noop_report = engine.run(
+            deployment, spec, batch_size=32, batch_count=60,
+            branch_profile=profile, recorder=recorder_noop,
+            overload=OverloadConfig(),
+        )
+        assert recorder_none.to_json() == recorder_noop.to_json()
+        assert none_report.makespan_seconds \
+            == noop_report.makespan_seconds
+        assert none_report.latency_samples \
+            == noop_report.latency_samples
+        assert none_report.max_queue_depth \
+            == noop_report.max_queue_depth
+        assert none_report.processor_busy_seconds \
+            == noop_report.processor_busy_seconds
+        assert none_report.dropped_packets == noop_report.dropped_packets
+
+    def _patch_noop_overload(self, monkeypatch):
+        """Force every kernel run through a default OverloadConfig."""
+        from repro.overload import OverloadConfig
+        from repro.sim.kernel import SimulationSession
+
+        real_run = SimulationSession.run
+
+        def with_noop(self, *args, **kwargs):
+            kwargs.setdefault("overload", OverloadConfig())
+            return real_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(SimulationSession, "run", with_noop)
+
+    def test_fig06_rows_exact_with_noop_overload(self, monkeypatch):
+        """The fig06 point function produces float-equal rows with a
+        no-op overload config injected under every simulation run."""
+        from repro.experiments import fig06_offload_ratio as fig06
+        baseline = fig06._measure_point("ipsec", 0.6, 256, 32, 30)
+        self._patch_noop_overload(monkeypatch)
+        protected = fig06._measure_point("ipsec", 0.6, 256, 32, 30)
+        assert baseline == protected
+
+    def test_fig08_rows_exact_with_noop_overload(self, monkeypatch):
+        """Same exact-row check on the fig08 characterization path."""
+        from repro.experiments import fig08_characterization as fig08
+        args = ("ids", "cpu", "partial_match", 64, 256, 30)
+        baseline = fig08._batch_point(*args)
+        self._patch_noop_overload(monkeypatch)
+        protected = fig08._batch_point(*args)
+        assert baseline == protected

@@ -8,11 +8,13 @@ deprecation path), not an accident.
 
 import repro
 import repro.obs
+import repro.overload
 import repro.runner
 import repro.sim
 
 REPRO_ALL = [
     "AdaptiveRuntime",
+    "CircuitBreaker",
     "CompassPlan",
     "DeploymentResult",
     "EpochResult",
@@ -23,17 +25,21 @@ REPRO_ALL = [
     "NFCompass",
     "NFSynthesizer",
     "NF_CATALOG",
+    "OverloadConfig",
     "PlatformSpec",
     "ProfileConfig",
     "ResilientRuntime",
     "ResultCache",
+    "RetryPolicy",
     "Runtime",
     "SFCOrchestrator",
+    "SLOFeedbackAdmission",
     "SimulationEngine",
     "SimulationSession",
     "SweepRunner",
     "SweepSpec",
     "ThroughputLatencyReport",
+    "TokenBucketAdmission",
     "Trace",
     "deployment_fingerprint",
     "make_nf",
@@ -73,6 +79,22 @@ SIM_ALL = [
     "EventRecorder",
     "NodeEvent",
     "BatchEvent",
+    "RequeueEvent",
+]
+
+OVERLOAD_ALL = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DROP_POLICY_NAMES",
+    "DeadlineDrop",
+    "DropPolicy",
+    "HeadDrop",
+    "OverloadConfig",
+    "RetryPolicy",
+    "SLOFeedbackAdmission",
+    "TailDrop",
+    "TokenBucketAdmission",
+    "parse_drop_policy",
 ]
 
 OBS_ALL = [
@@ -109,6 +131,9 @@ class TestSnapshots:
     def test_runner_all(self):
         assert sorted(repro.runner.__all__) == sorted(RUNNER_ALL)
 
+    def test_overload_all(self):
+        assert sorted(repro.overload.__all__) == sorted(OVERLOAD_ALL)
+
 
 class TestResolvable:
     def test_repro_names_resolve(self):
@@ -126,6 +151,10 @@ class TestResolvable:
     def test_runner_names_resolve(self):
         for name in repro.runner.__all__:
             assert getattr(repro.runner, name) is not None, name
+
+    def test_overload_names_resolve(self):
+        for name in repro.overload.__all__:
+            assert getattr(repro.overload, name) is not None, name
 
     def test_version_is_a_dotted_string(self):
         parts = repro.__version__.split(".")
